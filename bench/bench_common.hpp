@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness/datasets.hpp"
+
+/// \file bench_common.hpp
+/// Shared banner/format helpers for the per-table bench binaries.
+
+namespace sts::bench {
+
+inline void banner(const std::string& experiment, const std::string& paper_ref,
+                   const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s  (reproduces %s)\n", experiment.c_str(), paper_ref.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("host substitution: single container, %d hardware threads; "
+              "scale=%.2f reps=%d (STS_BENCH_SCALE / STS_BENCH_REPS)\n",
+              2, harness::benchScale(), harness::benchReps());
+  std::printf("==============================================================\n\n");
+}
+
+inline void datasetSummary(const std::string& name,
+                           const harness::Dataset& set) {
+  std::printf("[%s] %zu matrices:\n", name.c_str(), set.size());
+  for (const auto& entry : set) {
+    std::printf("  %-16s %9d rows %10lld nnz  avg-wavefront %8.1f\n",
+                entry.name.c_str(), entry.lower.rows(),
+                static_cast<long long>(entry.lower.nnz()),
+                harness::averageWavefrontSize(entry.lower));
+  }
+  std::printf("\n");
+}
+
+}  // namespace sts::bench

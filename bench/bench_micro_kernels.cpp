@@ -1,0 +1,174 @@
+/// Kernel microbenchmarks (google-benchmark): the executor hot paths, the
+/// scheduler itself, and ablations of the design parameters DESIGN.md
+/// calls out (sync cost L, utilization floor, funnel direction).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/spmp.hpp"
+#include "core/coarsen.hpp"
+#include "core/growlocal.hpp"
+#include "core/reorder.hpp"
+#include "dag/dag.hpp"
+#include "dag/transitive.hpp"
+#include "dag/wavefronts.hpp"
+#include "datagen/grids.hpp"
+#include "datagen/random_matrices.hpp"
+#include "exec/bsp.hpp"
+#include "exec/p2p.hpp"
+#include "exec/serial.hpp"
+
+namespace {
+
+using namespace sts;
+using sparse::CsrMatrix;
+
+const CsrMatrix& benchMatrix() {
+  static const CsrMatrix lower =
+      datagen::grid2dLaplacian5(120, 120).lowerTriangle();
+  return lower;
+}
+
+const dag::Dag& benchDag() {
+  static const dag::Dag d = dag::Dag::fromLowerTriangular(benchMatrix());
+  return d;
+}
+
+void BM_SerialSolve(benchmark::State& state) {
+  const auto& lower = benchMatrix();
+  const std::vector<double> b(static_cast<size_t>(lower.rows()), 1.0);
+  std::vector<double> x(b.size(), 0.0);
+  for (auto _ : state) {
+    exec::solveLowerSerial(lower, b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lower.nnz());
+}
+BENCHMARK(BM_SerialSolve);
+
+void BM_BspSolve(benchmark::State& state) {
+  const auto& lower = benchMatrix();
+  const auto schedule = core::growLocalSchedule(
+      benchDag(), {.num_cores = static_cast<int>(state.range(0))});
+  const exec::BspExecutor executor(lower, schedule);
+  const std::vector<double> b(static_cast<size_t>(lower.rows()), 1.0);
+  std::vector<double> x(b.size(), 0.0);
+  for (auto _ : state) {
+    executor.solve(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lower.nnz());
+}
+BENCHMARK(BM_BspSolve)->Arg(1)->Arg(2);
+
+void BM_ContiguousSolve(benchmark::State& state) {
+  const auto& lower = benchMatrix();
+  const auto schedule = core::growLocalSchedule(benchDag(), {.num_cores = 2});
+  auto problem = core::reorderForLocality(lower, schedule);
+  const exec::ContiguousBspExecutor executor(problem.matrix,
+                                             problem.num_supersteps,
+                                             problem.num_cores,
+                                             problem.group_ptr);
+  const std::vector<double> b(static_cast<size_t>(lower.rows()), 1.0);
+  std::vector<double> x(b.size(), 0.0);
+  for (auto _ : state) {
+    executor.solve(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lower.nnz());
+}
+BENCHMARK(BM_ContiguousSolve);
+
+void BM_P2pSolve(benchmark::State& state) {
+  const auto& lower = benchMatrix();
+  const auto spmp = baselines::spmpSchedule(benchDag(), {.num_cores = 2});
+  exec::P2pExecutor executor(lower, spmp.schedule, spmp.reduced_dag);
+  const std::vector<double> b(static_cast<size_t>(lower.rows()), 1.0);
+  std::vector<double> x(b.size(), 0.0);
+  for (auto _ : state) {
+    executor.solve(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lower.nnz());
+}
+BENCHMARK(BM_P2pSolve);
+
+void BM_GrowLocalSchedule(benchmark::State& state) {
+  const auto& d = benchDag();
+  for (auto _ : state) {
+    auto s = core::growLocalSchedule(d, {.num_cores = 2});
+    benchmark::DoNotOptimize(s.numSupersteps());
+  }
+  state.SetItemsProcessed(state.iterations() * d.numEdges());
+}
+BENCHMARK(BM_GrowLocalSchedule);
+
+void BM_FunnelPartition(benchmark::State& state) {
+  const auto& d = benchDag();
+  for (auto _ : state) {
+    auto p = core::funnelPartition(d, {});
+    benchmark::DoNotOptimize(p.num_parts);
+  }
+  state.SetItemsProcessed(state.iterations() * d.numEdges());
+}
+BENCHMARK(BM_FunnelPartition);
+
+void BM_TransitiveReduction(benchmark::State& state) {
+  const auto lower =
+      datagen::erdosRenyiLower({.n = 5000, .p = 4e-3, .seed = 3});
+  const auto d = dag::Dag::fromLowerTriangular(lower);
+  for (auto _ : state) {
+    auto r = dag::approximateTransitiveReduction(d);
+    benchmark::DoNotOptimize(r.removed_edges);
+  }
+  state.SetItemsProcessed(state.iterations() * d.numEdges());
+}
+BENCHMARK(BM_TransitiveReduction);
+
+void BM_Wavefronts(benchmark::State& state) {
+  const auto& d = benchDag();
+  for (auto _ : state) {
+    auto wf = dag::computeWavefronts(d);
+    benchmark::DoNotOptimize(wf.num_levels);
+  }
+  state.SetItemsProcessed(state.iterations() * d.numEdges());
+}
+BENCHMARK(BM_Wavefronts);
+
+/// Ablation: the sync-cost parameter L (§C.2). Reports the superstep count
+/// as a counter — larger L glues more wavefronts per superstep.
+void BM_AblationSyncCostL(benchmark::State& state) {
+  const auto& d = benchDag();
+  core::GrowLocalOptions opts;
+  opts.num_cores = 2;
+  opts.sync_cost_l = static_cast<double>(state.range(0));
+  index_t supersteps = 0;
+  for (auto _ : state) {
+    auto s = core::growLocalSchedule(d, opts);
+    supersteps = s.numSupersteps();
+  }
+  state.counters["supersteps"] = static_cast<double>(supersteps);
+}
+BENCHMARK(BM_AblationSyncCostL)->Arg(50)->Arg(500)->Arg(5000);
+
+/// Ablation: the utilization floor (our interpretation of the paper's
+/// "sufficient parallelization" test; see growlocal.hpp).
+void BM_AblationUtilizationFloor(benchmark::State& state) {
+  const auto& d = benchDag();
+  core::GrowLocalOptions opts;
+  opts.num_cores = 2;
+  opts.min_utilization = static_cast<double>(state.range(0)) / 100.0;
+  index_t supersteps = 0;
+  double imbalance = 0.0;
+  for (auto _ : state) {
+    auto s = core::growLocalSchedule(d, opts);
+    supersteps = s.numSupersteps();
+    imbalance = core::computeScheduleStats(d, s).imbalance;
+  }
+  state.counters["supersteps"] = static_cast<double>(supersteps);
+  state.counters["imbalance"] = imbalance;
+}
+BENCHMARK(BM_AblationUtilizationFloor)->Arg(0)->Arg(60)->Arg(85)->Arg(95);
+
+}  // namespace
+
+BENCHMARK_MAIN();

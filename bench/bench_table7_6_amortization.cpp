@@ -1,0 +1,51 @@
+/// Table 7.6: amortization threshold (Eq. 7.1) — how many solves must reuse
+/// a schedule before the scheduling time pays for itself. Quartiles over
+/// the SuiteSparse stand-in.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/runner.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+
+int main() {
+  using namespace sts;
+  using harness::Table;
+
+  bench::banner("Table 7.6", "Table 7.6",
+                "Amortization threshold quartiles (Eq. 7.1)");
+  const auto dataset = harness::suiteSparseStandin();
+
+  const std::vector<exec::SchedulerKind> kinds = {
+      exec::SchedulerKind::kGrowLocal, exec::SchedulerKind::kFunnelGrowLocal,
+      exec::SchedulerKind::kSpmp, exec::SchedulerKind::kHdagg};
+
+  harness::MeasureOptions opts;
+  std::vector<double> serial;
+  for (const auto& entry : dataset) {
+    serial.push_back(harness::measureSerial(entry.lower, opts));
+  }
+
+  Table table({"algorithm", "Q25", "median", "Q75"});
+  for (const auto kind : kinds) {
+    std::vector<double> thresholds;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      const auto m = harness::measureSolver(dataset[i].name, dataset[i].lower,
+                                            kind, opts, serial[i]);
+      thresholds.push_back(m.amortization);
+    }
+    const auto q = harness::quartiles(thresholds);
+    table.addRow({exec::schedulerKindName(kind), Table::fmt(q.q25, 1),
+                  Table::fmt(q.median, 1), Table::fmt(q.q75, 1)});
+  }
+  table.print(std::cout);
+  std::printf("\npaper (22 cores): GrowLocal 23.78/26.12/30.28, Funnel+GL "
+              "17.78/21.74/27.78, SpMP 3.65/5.51/8.41,\nHDagg "
+              "311.23/961.39/1848.80. Reproduced claim: SpMP amortizes "
+              "fastest, GrowLocal within one order of it,\nHDagg orders of "
+              "magnitude later.\n");
+  return 0;
+}

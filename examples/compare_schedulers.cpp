@@ -1,0 +1,62 @@
+/// Scheduler comparison CLI.
+///
+/// Compares every scheduler in the library on one matrix: supersteps,
+/// barrier reduction, analysis time, solve time, speed-up over serial.
+/// With a Matrix Market path, runs on a real matrix (e.g. a SuiteSparse
+/// download); without arguments a narrow-band instance is generated —
+/// the regime where scheduler quality differs most (paper Table 7.1).
+///
+///   ./compare_schedulers [matrix.mtx] [threads]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "datagen/random_matrices.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+#include "sparse/mm_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sts;
+  using harness::Table;
+
+  sparse::CsrMatrix lower;
+  std::string name;
+  if (argc > 1) {
+    name = argv[1];
+    const sparse::CsrMatrix m = sparse::readCsrFromMatrixMarketFile(argv[1]);
+    lower = m.isLowerTriangular() ? m : m.lowerTriangle();
+  } else {
+    name = "narrow-band n=30000 (generated)";
+    lower = datagen::narrowBandLower(
+        {.n = 30000, .p = 0.14, .b = 10.0, .seed = 7});
+  }
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  std::printf("matrix: %s (%s), threads: %d\n", name.c_str(),
+              lower.summary().c_str(), threads);
+  std::printf("average wavefront size: %.1f\n\n",
+              harness::averageWavefrontSize(lower));
+
+  harness::MeasureOptions opts;
+  opts.num_threads = threads;
+  const double serial = harness::measureSerial(lower, opts);
+
+  Table table({"scheduler", "supersteps", "wf-reduction", "analysis[ms]",
+               "solve[us]", "speedup"});
+  for (const auto kind :
+       {exec::SchedulerKind::kGrowLocal, exec::SchedulerKind::kFunnelGrowLocal,
+        exec::SchedulerKind::kSpmp, exec::SchedulerKind::kHdagg,
+        exec::SchedulerKind::kWavefront, exec::SchedulerKind::kBspList}) {
+    const auto m = harness::measureSolver(name, lower, kind, opts, serial);
+    table.addRow({m.scheduler, std::to_string(m.supersteps),
+                  Table::fmt(m.wavefront_reduction, 2) + "x",
+                  Table::fmt(m.schedule_seconds * 1e3, 2),
+                  Table::fmt(m.parallel_seconds * 1e6, 1),
+                  Table::fmt(m.speedup, 2) + "x"});
+  }
+  table.print(std::cout);
+  return 0;
+}

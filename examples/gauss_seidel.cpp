@@ -1,0 +1,66 @@
+/// Gauss–Seidel smoothing with a scheduled triangular solve.
+///
+/// A Gauss–Seidel sweep solves (D + L_strict) x_{k+1} = b - U_strict x_k:
+/// every sweep is one SpTRSV with the same sparsity pattern — the workload
+/// class behind the paper's METIS data set (§6.2.2: "representative of
+/// SpTRSV workloads in a Gauss–Seidel ... method").
+///
+///   ./gauss_seidel
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "datagen/grids.hpp"
+#include "exec/solver.hpp"
+
+int main() {
+  using namespace sts;
+
+  const sparse::CsrMatrix a = datagen::grid2dLaplacian5(48, 48);
+  const auto n = static_cast<size_t>(a.rows());
+  std::printf("Gauss-Seidel on %s\n", a.summary().c_str());
+
+  // Split A = (D + L_strict) + U_strict.
+  const sparse::CsrMatrix lower = a.lowerTriangle(/*include_diagonal=*/true);
+  const sparse::CsrMatrix upper_strict = a.upperTriangle(false);
+
+  exec::SolverOptions opts;
+  opts.scheduler = exec::SchedulerKind::kGrowLocal;
+  opts.num_threads = 2;
+  auto solver = exec::TriangularSolver::analyze(lower, opts);
+  std::printf("schedule: %d supersteps for %d wavefronts, analysis %.2f ms\n",
+              solver.stats().supersteps,
+              static_cast<int>(solver.stats().wavefront_reduction *
+                               solver.stats().supersteps + 0.5),
+              solver.analysisSeconds() * 1e3);
+
+  const std::vector<double> b(n, 1.0);
+  std::vector<double> x(n, 0.0);
+  std::vector<double> rhs(n, 0.0);
+
+  auto residual = [&]() {
+    const auto ax = a.multiply(x);
+    double r = 0.0;
+    for (size_t i = 0; i < n; ++i) r = std::max(r, std::abs(ax[i] - b[i]));
+    return r;
+  };
+
+  const double r0 = residual();
+  const int sweeps = 500;
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    // rhs = b - U_strict * x  (the values computed last sweep)
+    const auto ux = upper_strict.multiply(x);
+    for (size_t i = 0; i < n; ++i) rhs[i] = b[i] - ux[i];
+    solver.solve(rhs, x);  // (D + L_strict) x = rhs
+    if ((sweep + 1) % 100 == 0) {
+      std::printf("  after %3d sweeps: residual %.3e\n", sweep + 1,
+                  residual());
+    }
+  }
+  const double rN = residual();
+  std::printf("residual reduced %.1fx over %d sweeps (one SpTRSV each; the "
+              "schedule was computed once)\n",
+              r0 / rN, sweeps);
+  return rN < 0.5 * r0 ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+/// Quickstart: schedule and solve one sparse triangular system.
+///
+/// Builds a 2-D Poisson problem, takes its lower triangle (the SpTRSV
+/// instance), analyzes it once with the GrowLocal scheduler, and then
+/// solves repeatedly — the analyze-once / solve-many pattern the paper
+/// targets (preconditioners, Gauss–Seidel, repeated FEM solves).
+///
+///   ./quickstart
+
+#include <cstdio>
+
+#include "datagen/grids.hpp"
+#include "exec/solver.hpp"
+#include "exec/verify.hpp"
+
+int main() {
+  using namespace sts;
+
+  // 1. A 200x200 Poisson matrix; its lower triangle is our system L x = b.
+  const sparse::CsrMatrix a = datagen::grid2dLaplacian5(200, 200);
+  const sparse::CsrMatrix lower = a.lowerTriangle();
+  std::printf("matrix: %s\n", lower.summary().c_str());
+
+  // 2. Analysis phase: build the DAG, run GrowLocal, reorder for locality.
+  exec::SolverOptions options;
+  options.scheduler = exec::SchedulerKind::kGrowLocal;
+  options.num_threads = 2;
+  options.reorder = true;
+  auto solver = exec::TriangularSolver::analyze(lower, options);
+
+  const auto& stats = solver.stats();
+  std::printf("schedule: %d supersteps, %d barriers (%.1fx fewer than the "
+              "%d wavefronts)\n",
+              stats.supersteps, stats.barriers, stats.wavefront_reduction,
+              static_cast<int>(stats.wavefront_reduction *
+                               static_cast<double>(stats.supersteps) + 0.5));
+  std::printf("analysis took %.3f ms\n", solver.analysisSeconds() * 1e3);
+
+  // 3. Solve phase: reuse the schedule for many right-hand sides.
+  const auto x_true = exec::referenceSolution(lower.rows(), /*seed=*/1);
+  const auto b = lower.multiply(x_true);
+  std::vector<double> x(b.size(), 0.0);
+  for (int sweep = 0; sweep < 10; ++sweep) solver.solve(b, x);
+
+  // 4. Verify.
+  const double err = exec::relMaxAbsDiff(x, x_true);
+  const double res = exec::residualInf(lower, x, b);
+  std::printf("relative error %.2e, residual %.2e -> %s\n", err, res,
+              (err < 1e-10 ? "OK" : "FAILED"));
+  return err < 1e-10 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+#include "baselines/bsplist.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace sts::baselines {
+
+std::vector<index_t> computeBottomLevels(const Dag& dag) {
+  const index_t n = dag.numVertices();
+  std::vector<index_t> bottom(static_cast<size_t>(n), 1);
+  std::vector<index_t> outdeg(static_cast<size_t>(n));
+  std::vector<index_t> queue;
+  for (index_t v = 0; v < n; ++v) {
+    outdeg[static_cast<size_t>(v)] = dag.outDegree(v);
+    if (outdeg[static_cast<size_t>(v)] == 0) queue.push_back(v);
+  }
+  size_t head = 0;
+  while (head < queue.size()) {
+    const index_t v = queue[head++];
+    for (const index_t u : dag.parents(v)) {
+      bottom[static_cast<size_t>(u)] =
+          std::max(bottom[static_cast<size_t>(u)],
+                   static_cast<index_t>(bottom[static_cast<size_t>(v)] + 1));
+      if (--outdeg[static_cast<size_t>(u)] == 0) queue.push_back(u);
+    }
+  }
+  if (head != static_cast<size_t>(n)) {
+    throw std::logic_error("computeBottomLevels: graph contains a cycle");
+  }
+  return bottom;
+}
+
+Schedule bspListSchedule(const Dag& dag, const BspListOptions& opts) {
+  const index_t n = dag.numVertices();
+  if (opts.num_cores <= 0) {
+    throw std::invalid_argument("bspListSchedule: num_cores must be positive");
+  }
+  const std::vector<index_t> bottom = computeBottomLevels(dag);
+
+  std::vector<int> core(static_cast<size_t>(n), 0);
+  std::vector<index_t> superstep(static_cast<size_t>(n), 0);
+  std::vector<index_t> parents_left(static_cast<size_t>(n));
+  std::vector<index_t> ready;
+  for (index_t v = 0; v < n; ++v) {
+    parents_left[static_cast<size_t>(v)] = dag.inDegree(v);
+    if (parents_left[static_cast<size_t>(v)] == 0) ready.push_back(v);
+  }
+
+  using Slot = std::pair<dag::weight_t, int>;  // (load, core)
+  std::vector<index_t> next_ready;
+  index_t s = 0;
+  index_t scheduled = 0;
+  while (!ready.empty()) {
+    // Critical-path priority: deeper bottom level first, then smaller ID.
+    std::sort(ready.begin(), ready.end(), [&bottom](index_t a, index_t b) {
+      const index_t ba = bottom[static_cast<size_t>(a)];
+      const index_t bb = bottom[static_cast<size_t>(b)];
+      return ba != bb ? ba > bb : a < b;
+    });
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<>> loads;
+    for (int p = 0; p < opts.num_cores; ++p) loads.emplace(0, p);
+    next_ready.clear();
+    for (const index_t v : ready) {
+      auto [load, p] = loads.top();
+      loads.pop();
+      loads.emplace(load + dag.weight(v), p);
+      core[static_cast<size_t>(v)] = p;
+      superstep[static_cast<size_t>(v)] = s;
+      ++scheduled;
+      for (const index_t u : dag.children(v)) {
+        if (--parents_left[static_cast<size_t>(u)] == 0) {
+          next_ready.push_back(u);
+        }
+      }
+    }
+    ready.swap(next_ready);
+    ++s;
+  }
+  if (scheduled != n) {
+    throw std::logic_error("bspListSchedule: graph contains a cycle");
+  }
+  return Schedule::fromAssignment(dag, opts.num_cores, core, superstep);
+}
+
+}  // namespace sts::baselines

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "core/schedule.hpp"
+#include "dag/dag.hpp"
+
+/// \file bsplist.hpp
+/// A BSP list scheduler in the spirit of BSPg [PAKY24] (App. C.1 baseline):
+/// each superstep takes the currently-ready vertices, orders them by
+/// bottom-level priority (longest path to a sink, descending — the classic
+/// critical-path list-scheduling priority), and assigns them to the
+/// least-loaded core; a barrier follows. Unlike GrowLocal it neither grows
+/// supersteps adaptively nor preserves ID locality, which is exactly the
+/// gap the paper measures (8.31x geo-mean, §C.1).
+
+namespace sts::baselines {
+
+using core::Schedule;
+using dag::Dag;
+using sts::index_t;
+
+struct BspListOptions {
+  int num_cores = 2;
+};
+
+Schedule bspListSchedule(const Dag& dag, const BspListOptions& opts = {});
+
+/// Bottom levels: length (in vertices) of the longest path from v to any
+/// sink, so sinks have bottom level 1. Exposed for tests.
+std::vector<index_t> computeBottomLevels(const Dag& dag);
+
+}  // namespace sts::baselines

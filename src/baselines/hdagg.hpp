@@ -1,0 +1,43 @@
+#pragma once
+
+#include "core/coarsen.hpp"
+#include "core/schedule.hpp"
+#include "dag/dag.hpp"
+
+/// \file hdagg.hpp
+/// Reimplementation of the HDagg scheduler [ZCL+22]: glue consecutive
+/// wavefronts into one superstep for as long as the connected components of
+/// the glued window can be packed onto the cores with a balanced workload;
+/// then assign whole components to cores (avoiding intra-superstep
+/// cross-core edges by construction). HDagg also coarsens the DAG before
+/// scheduling; we use the paper's Funnel coarsener, which generalizes
+/// HDagg's tree grouping (every in-tree is an in-funnel, §4.2).
+///
+/// Divergence note (DESIGN.md §4): [ZCL+22] does not fully specify its
+/// internal cost thresholds; we use an explicit imbalance bound θ —
+/// a window is balanced iff LPT packing of its components achieves
+/// max-load ≤ θ · (total/cores). Single-wavefront windows are always
+/// accepted so the scheduler cannot get stuck.
+
+namespace sts::baselines {
+
+using core::Schedule;
+using dag::Dag;
+using sts::index_t;
+
+struct HdaggOptions {
+  int num_cores = 2;
+  /// Imbalance tolerance θ for accepting a glued window.
+  double imbalance_theta = 1.15;
+  /// Optionally coarsen with funnels before scheduling. Default OFF: with
+  /// the paper's own Funnel coarsener the baseline becomes far stronger
+  /// than published HDagg (whose tree aggregation leaves barrier counts at
+  /// 1.1-2.4x of the wavefront count, Table 7.2), which would misrepresent
+  /// the comparison. Enable to study an HDagg+Funnel hybrid.
+  bool coarsen = false;
+  core::FunnelOptions funnel;
+};
+
+Schedule hdaggSchedule(const Dag& dag, const HdaggOptions& opts = {});
+
+}  // namespace sts::baselines

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "core/schedule.hpp"
+#include "dag/dag.hpp"
+#include "dag/transitive.hpp"
+
+/// \file spmp.hpp
+/// Reimplementation of the SpMP scheduler [PSSD14]: level sets with a
+/// weight-balanced contiguous partition of each level across cores, plus an
+/// approximate transitive reduction that sparsifies the dependencies the
+/// asynchronous executor must wait on. SpMP executes *asynchronously*
+/// (point-to-point synchronization, exec/p2p.hpp): a core may run ahead
+/// into the next level as soon as its own dependencies are satisfied, which
+/// is why the reduced DAG is part of the result.
+///
+/// Divergence note (DESIGN.md §4): the original SpMP library adds x86
+/// intrinsics and NUMA-aware data placement; those are out of scope here
+/// (the paper itself omits SpMP on ARM because the implementation is
+/// x86-specific).
+
+namespace sts::baselines {
+
+using core::Schedule;
+using dag::Dag;
+using sts::index_t;
+
+struct SpmpOptions {
+  int num_cores = 2;
+  /// Apply the "remove long edges in triangles" pass [PSSD14 §2.3].
+  bool transitive_reduction = true;
+  dag::TransitiveReductionOptions reduction;
+};
+
+struct SpmpResult {
+  /// Level-set schedule (one superstep per wavefront). Used as-is by the
+  /// barrier executor; the P2P executor uses it only for the per-core
+  /// vertex order.
+  Schedule schedule;
+  /// DAG after transitive reduction: the P2P executor spin-waits only on
+  /// these edges.
+  Dag reduced_dag;
+  sts::offset_t removed_edges = 0;
+};
+
+SpmpResult spmpSchedule(const Dag& dag, const SpmpOptions& opts = {});
+
+}  // namespace sts::baselines

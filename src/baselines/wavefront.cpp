@@ -1,0 +1,48 @@
+#include "baselines/wavefront.hpp"
+
+#include "dag/wavefronts.hpp"
+
+namespace sts::baselines {
+
+std::vector<size_t> balancedContiguousChunks(const Dag& dag,
+                                             std::span<const index_t> vertices,
+                                             int num_cores) {
+  using dag::weight_t;
+  weight_t total = 0;
+  for (const index_t v : vertices) total += dag.weight(v);
+
+  std::vector<size_t> bounds(static_cast<size_t>(num_cores) + 1,
+                             vertices.size());
+  bounds[0] = 0;
+  weight_t prefix = 0;
+  int next_cut = 1;
+  for (size_t i = 0; i < vertices.size() && next_cut < num_cores; ++i) {
+    prefix += dag.weight(vertices[i]);
+    while (next_cut < num_cores &&
+           prefix >= (total * next_cut) / num_cores) {
+      bounds[static_cast<size_t>(next_cut++)] = i + 1;
+    }
+  }
+  return bounds;
+}
+
+Schedule wavefrontSchedule(const Dag& dag, const WavefrontOptions& opts) {
+  const dag::Wavefronts wf = dag::computeWavefronts(dag);
+  const index_t n = dag.numVertices();
+  std::vector<int> core(static_cast<size_t>(n), 0);
+  std::vector<index_t> superstep(static_cast<size_t>(n), 0);
+  for (index_t l = 0; l < wf.num_levels; ++l) {
+    const auto verts = wf.levelVertices(l);
+    const auto bounds = balancedContiguousChunks(dag, verts, opts.num_cores);
+    for (int p = 0; p < opts.num_cores; ++p) {
+      for (size_t i = bounds[static_cast<size_t>(p)];
+           i < bounds[static_cast<size_t>(p) + 1]; ++i) {
+        core[static_cast<size_t>(verts[i])] = p;
+        superstep[static_cast<size_t>(verts[i])] = l;
+      }
+    }
+  }
+  return Schedule::fromAssignment(dag, opts.num_cores, core, superstep);
+}
+
+}  // namespace sts::baselines

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "core/schedule.hpp"
+#include "dag/dag.hpp"
+
+/// \file wavefront.hpp
+/// The classic wavefront (level-set) scheduler [AS89, Sal90]: every
+/// wavefront becomes one superstep; within a wavefront the vertices are
+/// split into contiguous, weight-balanced chunks, one per core. This is
+/// the reference point for the paper's barrier-reduction metric
+/// (Table 7.2 counts barriers relative to #wavefronts).
+
+namespace sts::baselines {
+
+using core::Schedule;
+using dag::Dag;
+using sts::index_t;
+
+struct WavefrontOptions {
+  int num_cores = 2;
+};
+
+Schedule wavefrontSchedule(const Dag& dag, const WavefrontOptions& opts = {});
+
+/// Splits `vertices` (with weights from `dag`) into `num_cores` contiguous
+/// chunks with near-equal weight; returns chunk boundaries
+/// (num_cores+1 entries). Shared by the wavefront and SpMP schedulers.
+std::vector<size_t> balancedContiguousChunks(const Dag& dag,
+                                             std::span<const index_t> vertices,
+                                             int num_cores);
+
+}  // namespace sts::baselines

@@ -1,0 +1,43 @@
+#include "core/reorder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sts::core {
+
+std::vector<index_t> schedulePermutation(const Schedule& schedule,
+                                         InGroupOrder in_group) {
+  const auto order = schedule.executionOrder();
+  std::vector<index_t> perm(order.begin(), order.end());
+  if (in_group == InGroupOrder::kById) {
+    const auto ptr = schedule.groupPtr();
+    for (size_t g = 0; g + 1 < ptr.size(); ++g) {
+      std::sort(perm.begin() + static_cast<std::ptrdiff_t>(ptr[g]),
+                perm.begin() + static_cast<std::ptrdiff_t>(ptr[g + 1]));
+    }
+  }
+  return perm;
+}
+
+ReorderedProblem reorderForLocality(const sparse::CsrMatrix& lower,
+                                    const Schedule& schedule,
+                                    InGroupOrder in_group) {
+  if (lower.rows() != schedule.numVertices()) {
+    throw std::invalid_argument("reorderForLocality: dimension mismatch");
+  }
+  ReorderedProblem problem;
+  problem.new_to_old = schedulePermutation(schedule, in_group);
+  problem.matrix = lower.symmetricPermuted(problem.new_to_old);
+  if (!problem.matrix.isLowerTriangular()) {
+    throw std::invalid_argument(
+        "reorderForLocality: permutation is not topological (schedule "
+        "invalid for this matrix)");
+  }
+  problem.num_supersteps = schedule.numSupersteps();
+  problem.num_cores = schedule.numCores();
+  problem.group_ptr.assign(schedule.groupPtr().begin(),
+                           schedule.groupPtr().end());
+  return problem;
+}
+
+}  // namespace sts::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "sparse/csr.hpp"
+
+/// \file reorder.hpp
+/// Schedule-driven reordering for locality (paper §5): after scheduling,
+/// relabel the vertices so that values computed consecutively on the same
+/// core are adjacent in memory — iterate supersteps in order, cores within
+/// a superstep in order, and vertices within a (core, superstep) group in
+/// their original order. The symmetric permutation of the matrix stays
+/// lower triangular because the new order is a topological order of the
+/// DAG, and each (superstep, core) group becomes a contiguous row range.
+
+namespace sts::core {
+
+/// How vertices inside one (superstep, core) group are laid out.
+enum class InGroupOrder {
+  /// Original (ascending ID) order — the paper's choice; valid whenever the
+  /// DAG's edges ascend IDs, which holds for every matrix-derived DAG.
+  kById,
+  /// The schedule's execution order — valid for arbitrary DAGs.
+  kByExecution,
+};
+
+/// The new_to_old permutation induced by the schedule.
+std::vector<index_t> schedulePermutation(
+    const Schedule& schedule, InGroupOrder in_group = InGroupOrder::kById);
+
+/// A fully reordered SpTRSV problem: permuted matrix, the permutation, and
+/// the contiguous row range of every (superstep, core) group. The executor
+/// for this form needs no per-vertex indirection at all.
+struct ReorderedProblem {
+  sparse::CsrMatrix matrix;          ///< P L P^T
+  std::vector<index_t> new_to_old;   ///< row i of `matrix` is old row new_to_old[i]
+  index_t num_supersteps = 0;
+  int num_cores = 0;
+  /// group g = superstep * num_cores + core covers rows
+  /// [group_ptr[g], group_ptr[g+1]).
+  std::vector<offset_t> group_ptr;
+};
+
+/// Builds the permuted problem from a validated schedule of dag(L).
+/// Throws std::invalid_argument if the permutation does not keep the matrix
+/// lower triangular (i.e., the schedule order was not topological).
+ReorderedProblem reorderForLocality(const sparse::CsrMatrix& lower,
+                                    const Schedule& schedule,
+                                    InGroupOrder in_group = InGroupOrder::kById);
+
+}  // namespace sts::core

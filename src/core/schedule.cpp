@@ -1,0 +1,287 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "dag/wavefronts.hpp"
+
+namespace sts::core {
+
+Schedule::Schedule(index_t n, int num_cores, index_t num_supersteps,
+                   std::vector<int> core, std::vector<index_t> superstep,
+                   std::vector<index_t> order,
+                   std::vector<offset_t> group_ptr)
+    : n_(n),
+      num_cores_(num_cores),
+      num_supersteps_(num_supersteps),
+      core_(std::move(core)),
+      superstep_(std::move(superstep)),
+      order_(std::move(order)),
+      group_ptr_(std::move(group_ptr)) {
+  if (num_cores_ <= 0) {
+    throw std::invalid_argument("Schedule: num_cores must be positive");
+  }
+  if (core_.size() != static_cast<size_t>(n_) ||
+      superstep_.size() != static_cast<size_t>(n_) ||
+      order_.size() != static_cast<size_t>(n_)) {
+    throw std::invalid_argument("Schedule: assignment array size mismatch");
+  }
+  const size_t groups =
+      static_cast<size_t>(num_supersteps_) * static_cast<size_t>(num_cores_);
+  if (group_ptr_.size() != groups + 1 || group_ptr_.front() != 0 ||
+      group_ptr_.back() != static_cast<offset_t>(n_)) {
+    throw std::invalid_argument("Schedule: group_ptr malformed");
+  }
+}
+
+Schedule Schedule::fromAssignment(const Dag& dag, int num_cores,
+                                  std::span<const int> core,
+                                  std::span<const index_t> superstep) {
+  const index_t n = dag.numVertices();
+  if (num_cores <= 0) {
+    throw std::invalid_argument("fromAssignment: num_cores must be positive");
+  }
+  if (static_cast<index_t>(core.size()) != n ||
+      static_cast<index_t>(superstep.size()) != n) {
+    throw std::invalid_argument("fromAssignment: array size mismatch");
+  }
+  for (index_t v = 0; v < n; ++v) {
+    if (core[static_cast<size_t>(v)] < 0 ||
+        core[static_cast<size_t>(v)] >= num_cores) {
+      throw std::invalid_argument("fromAssignment: core out of range");
+    }
+    if (superstep[static_cast<size_t>(v)] < 0) {
+      throw std::invalid_argument("fromAssignment: negative superstep");
+    }
+  }
+
+  // Compact superstep numbering: drop empty supersteps.
+  std::vector<index_t> used(superstep.begin(), superstep.end());
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  std::vector<index_t> compact(n == 0 ? 0 : static_cast<size_t>(used.empty() ? 0 : used.back() + 1));
+  for (size_t i = 0; i < used.size(); ++i) {
+    compact[static_cast<size_t>(used[i])] = static_cast<index_t>(i);
+  }
+  const auto num_supersteps = static_cast<index_t>(used.size());
+
+  std::vector<index_t> sigma(static_cast<size_t>(n));
+  for (index_t v = 0; v < n; ++v) {
+    sigma[static_cast<size_t>(v)] =
+        compact[static_cast<size_t>(superstep[static_cast<size_t>(v)])];
+  }
+
+  // Order each group by (level, id): valid because any edge increases the
+  // wavefront level.
+  const dag::Wavefronts wf = dag::computeWavefronts(dag);
+  const size_t groups =
+      static_cast<size_t>(num_supersteps) * static_cast<size_t>(num_cores);
+  std::vector<offset_t> group_ptr(groups + 1, 0);
+  auto group_of = [&](index_t v) {
+    return static_cast<size_t>(sigma[static_cast<size_t>(v)]) *
+               static_cast<size_t>(num_cores) +
+           static_cast<size_t>(core[static_cast<size_t>(v)]);
+  };
+  for (index_t v = 0; v < n; ++v) ++group_ptr[group_of(v) + 1];
+  std::partial_sum(group_ptr.begin(), group_ptr.end(), group_ptr.begin());
+
+  std::vector<index_t> order(static_cast<size_t>(n));
+  std::vector<offset_t> cursor(group_ptr.begin(), group_ptr.end() - 1);
+  for (index_t v = 0; v < n; ++v) {
+    order[static_cast<size_t>(cursor[group_of(v)]++)] = v;
+  }
+  for (size_t g = 0; g < groups; ++g) {
+    std::sort(order.begin() + static_cast<std::ptrdiff_t>(group_ptr[g]),
+              order.begin() + static_cast<std::ptrdiff_t>(group_ptr[g + 1]),
+              [&wf](index_t a, index_t b) {
+                const index_t la = wf.level[static_cast<size_t>(a)];
+                const index_t lb = wf.level[static_cast<size_t>(b)];
+                return la != lb ? la < lb : a < b;
+              });
+  }
+  return Schedule(n, num_cores, num_supersteps,
+                  std::vector<int>(core.begin(), core.end()),
+                  std::move(sigma), std::move(order), std::move(group_ptr));
+}
+
+Schedule Schedule::serial(const Dag& dag) {
+  const index_t n = dag.numVertices();
+  const std::vector<int> core(static_cast<size_t>(n), 0);
+  const std::vector<index_t> superstep(static_cast<size_t>(n), 0);
+  return fromAssignment(dag, 1, core, superstep);
+}
+
+std::span<const index_t> Schedule::group(index_t s, int p) const {
+  const size_t g = static_cast<size_t>(s) * static_cast<size_t>(num_cores_) +
+                   static_cast<size_t>(p);
+  return std::span<const index_t>(order_).subspan(
+      static_cast<size_t>(group_ptr_[g]),
+      static_cast<size_t>(group_ptr_[g + 1] - group_ptr_[g]));
+}
+
+ScheduleValidation validateSchedule(const Dag& dag, const Schedule& schedule) {
+  const index_t n = dag.numVertices();
+  auto fail = [](const std::string& msg) {
+    return ScheduleValidation{false, msg};
+  };
+  if (schedule.numVertices() != n) {
+    return fail("schedule covers a different number of vertices");
+  }
+
+  // Every vertex appears exactly once in the execution order, inside the
+  // group its (σ, π) assignment points to.
+  std::vector<offset_t> position(static_cast<size_t>(n), -1);
+  const auto order = schedule.executionOrder();
+  for (size_t i = 0; i < order.size(); ++i) {
+    const index_t v = order[i];
+    if (v < 0 || v >= n) return fail("execution order contains a bad vertex");
+    if (position[static_cast<size_t>(v)] != -1) {
+      std::ostringstream os;
+      os << "vertex " << v << " appears twice in the execution order";
+      return fail(os.str());
+    }
+    position[static_cast<size_t>(v)] = static_cast<offset_t>(i);
+  }
+  if (order.size() != static_cast<size_t>(n)) {
+    return fail("execution order does not cover all vertices");
+  }
+  for (index_t s = 0; s < schedule.numSupersteps(); ++s) {
+    for (int p = 0; p < schedule.numCores(); ++p) {
+      for (const index_t v : schedule.group(s, p)) {
+        if (schedule.superstepOf(v) != s || schedule.coreOf(v) != p) {
+          std::ostringstream os;
+          os << "vertex " << v << " listed in group (" << s << ", " << p
+             << ") but assigned to (" << schedule.superstepOf(v) << ", "
+             << schedule.coreOf(v) << ")";
+          return fail(os.str());
+        }
+      }
+    }
+  }
+
+  // Definition 2.1 plus intra-group execution order.
+  for (index_t u = 0; u < n; ++u) {
+    for (const index_t v : dag.children(u)) {
+      const index_t su = schedule.superstepOf(u);
+      const index_t sv = schedule.superstepOf(v);
+      if (su > sv) {
+        std::ostringstream os;
+        os << "edge (" << u << ", " << v << ") goes backwards in supersteps ("
+           << su << " > " << sv << ")";
+        return fail(os.str());
+      }
+      if (schedule.coreOf(u) != schedule.coreOf(v) && su >= sv) {
+        std::ostringstream os;
+        os << "edge (" << u << ", " << v
+           << ") crosses cores without a barrier (superstep " << su << ")";
+        return fail(os.str());
+      }
+      if (schedule.coreOf(u) == schedule.coreOf(v) && su == sv &&
+          position[static_cast<size_t>(u)] >= position[static_cast<size_t>(v)]) {
+        std::ostringstream os;
+        os << "edge (" << u << ", " << v
+           << ") violates the in-group execution order";
+        return fail(os.str());
+      }
+    }
+  }
+  return ScheduleValidation{};
+}
+
+ScheduleStats computeScheduleStats(const Dag& dag, const Schedule& schedule,
+                                   double sync_cost_l) {
+  ScheduleStats stats;
+  stats.supersteps = schedule.numSupersteps();
+  stats.barriers = schedule.numBarriers();
+  stats.total_work = dag.totalWeight();
+
+  for (index_t s = 0; s < schedule.numSupersteps(); ++s) {
+    weight_t max_load = 0;
+    for (int p = 0; p < schedule.numCores(); ++p) {
+      weight_t load = 0;
+      for (const index_t v : schedule.group(s, p)) load += dag.weight(v);
+      max_load = std::max(max_load, load);
+    }
+    stats.makespan_work += max_load;
+  }
+  const weight_t ideal =
+      (stats.total_work + schedule.numCores() - 1) / schedule.numCores();
+  stats.imbalance = ideal > 0 ? static_cast<double>(stats.makespan_work) /
+                                    static_cast<double>(ideal)
+                              : 1.0;
+  stats.bsp_cost = static_cast<double>(stats.makespan_work) +
+                   sync_cost_l * static_cast<double>(stats.barriers);
+  const index_t wavefronts = dag::criticalPathLength(dag);
+  stats.wavefront_reduction =
+      stats.supersteps > 0
+          ? static_cast<double>(wavefronts) / static_cast<double>(stats.supersteps)
+          : 0.0;
+  return stats;
+}
+
+Schedule coalesceSupersteps(const Dag& dag, const Schedule& schedule) {
+  const index_t n = dag.numVertices();
+  const index_t steps = schedule.numSupersteps();
+  if (steps <= 1) return schedule;
+
+  // cross_max_src[t] = latest superstep with a cross-core edge into t
+  // (-1 if none). Folding supersteps [a..t] into one group is valid iff no
+  // cross-core edge lands in t from within [a..t-1], i.e.
+  // cross_max_src[t] < a.
+  std::vector<index_t> cross_max_src(static_cast<size_t>(steps), -1);
+  for (index_t u = 0; u < n; ++u) {
+    for (const index_t v : dag.children(u)) {
+      if (schedule.coreOf(u) != schedule.coreOf(v)) {
+        auto& src = cross_max_src[static_cast<size_t>(schedule.superstepOf(v))];
+        src = std::max(src, schedule.superstepOf(u));
+      }
+    }
+  }
+  // Greedy left-to-right folding into maximal valid runs.
+  std::vector<index_t> new_step(static_cast<size_t>(steps), 0);
+  index_t run_start = 0;
+  index_t run_index = 0;
+  for (index_t s = 1; s < steps; ++s) {
+    if (cross_max_src[static_cast<size_t>(s)] >= run_start) {
+      run_start = s;
+      ++run_index;
+    }
+    new_step[static_cast<size_t>(s)] = run_index;
+  }
+  const index_t merged_steps = run_index + 1;
+  if (merged_steps == steps) return schedule;
+
+  std::vector<int> core(schedule.cores().begin(), schedule.cores().end());
+  std::vector<index_t> superstep(static_cast<size_t>(n));
+  for (index_t v = 0; v < n; ++v) {
+    superstep[static_cast<size_t>(v)] =
+        new_step[static_cast<size_t>(schedule.superstepOf(v))];
+  }
+  // Rebuild the execution order by concatenating old groups per new group;
+  // old-group order is preserved, so intra-core orderings survive.
+  std::vector<index_t> order;
+  order.reserve(static_cast<size_t>(n));
+  std::vector<offset_t> group_ptr = {0};
+  index_t old_s = 0;
+  for (index_t s = 0; s < merged_steps; ++s) {
+    index_t old_end = old_s;
+    while (old_end < steps && new_step[static_cast<size_t>(old_end)] == s) {
+      ++old_end;
+    }
+    for (int p = 0; p < schedule.numCores(); ++p) {
+      for (index_t o = old_s; o < old_end; ++o) {
+        const auto group = schedule.group(o, p);
+        order.insert(order.end(), group.begin(), group.end());
+      }
+      group_ptr.push_back(static_cast<offset_t>(order.size()));
+    }
+    old_s = old_end;
+  }
+  return Schedule(n, schedule.numCores(), merged_steps, std::move(core),
+                  std::move(superstep), std::move(order),
+                  std::move(group_ptr));
+}
+
+}  // namespace sts::core

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dag/dag.hpp"
+
+/// \file schedule.hpp
+/// The parallel schedule of Definition 2.1: assignments π (core) and σ
+/// (superstep) plus an explicit execution order within each
+/// (superstep, core) group. The order matters: vertices scheduled on the
+/// same core in the same superstep may depend on each other and must be
+/// executed in a dependency-respecting sequence.
+
+namespace sts::core {
+
+using dag::Dag;
+using dag::weight_t;
+using sts::index_t;
+using sts::offset_t;
+
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Builds from π/σ plus an explicit in-group execution order: `order`
+  /// lists all vertices grouped by superstep-major, core-minor; group g =
+  /// superstep * num_cores + core; `group_ptr` has S*P+1 boundaries.
+  Schedule(index_t n, int num_cores, index_t num_supersteps,
+           std::vector<int> core, std::vector<index_t> superstep,
+           std::vector<index_t> order, std::vector<offset_t> group_ptr);
+
+  /// Builds from π/σ only; the in-group order is derived by sorting each
+  /// group by (wavefront level, vertex ID), which always yields a valid
+  /// execution order. Supersteps are compacted (empty ones removed).
+  static Schedule fromAssignment(const Dag& dag, int num_cores,
+                                 std::span<const int> core,
+                                 std::span<const index_t> superstep);
+
+  /// All of the DAG on one core in one superstep, in topological (ID) order
+  /// for ID-ascending DAGs; used as the serial reference schedule.
+  static Schedule serial(const Dag& dag);
+
+  index_t numVertices() const { return n_; }
+  int numCores() const { return num_cores_; }
+  index_t numSupersteps() const { return num_supersteps_; }
+  /// Barriers during execution: one between consecutive supersteps.
+  index_t numBarriers() const {
+    return num_supersteps_ > 0 ? num_supersteps_ - 1 : 0;
+  }
+
+  int coreOf(index_t v) const { return core_[static_cast<size_t>(v)]; }
+  index_t superstepOf(index_t v) const {
+    return superstep_[static_cast<size_t>(v)];
+  }
+  std::span<const int> cores() const { return core_; }
+  std::span<const index_t> supersteps() const { return superstep_; }
+
+  /// Vertices of (superstep s, core p) in execution order.
+  std::span<const index_t> group(index_t s, int p) const;
+
+  /// The flat execution order (superstep-major, core-minor).
+  std::span<const index_t> executionOrder() const { return order_; }
+  std::span<const offset_t> groupPtr() const { return group_ptr_; }
+
+ private:
+  index_t n_ = 0;
+  int num_cores_ = 0;
+  index_t num_supersteps_ = 0;
+  std::vector<int> core_;
+  std::vector<index_t> superstep_;
+  std::vector<index_t> order_;
+  std::vector<offset_t> group_ptr_ = {0};
+};
+
+/// Outcome of validateSchedule; `ok` iff the schedule satisfies Def. 2.1,
+/// covers every vertex exactly once, and every group's execution order
+/// respects intra-group dependencies.
+struct ScheduleValidation {
+  bool ok = true;
+  std::string message;
+};
+
+ScheduleValidation validateSchedule(const Dag& dag, const Schedule& schedule);
+
+/// Aggregate schedule quality metrics (§2.2 cost discussion).
+struct ScheduleStats {
+  index_t supersteps = 0;
+  index_t barriers = 0;
+  weight_t total_work = 0;
+  /// sum over supersteps of the maximum per-core load: the compute term of
+  /// the BSP cost.
+  weight_t makespan_work = 0;
+  /// makespan_work / ceil(total/P): 1.0 is a perfectly balanced schedule.
+  double imbalance = 0.0;
+  /// makespan_work + L * barriers.
+  double bsp_cost = 0.0;
+  /// #wavefronts / #supersteps: the Table 7.2 barrier-reduction metric.
+  double wavefront_reduction = 0.0;
+};
+
+ScheduleStats computeScheduleStats(const Dag& dag, const Schedule& schedule,
+                                   double sync_cost_l = 500.0);
+
+/// Removes barriers that synchronize nothing: merges consecutive supersteps
+/// s, s+1 whenever every edge from s to s+1 stays on one core. Pure cost
+/// reduction — the result is valid whenever the input is. Execution order
+/// within a merged (core, superstep) group is the concatenation of the old
+/// groups, which preserves all intra-core orderings.
+Schedule coalesceSupersteps(const Dag& dag, const Schedule& schedule);
+
+}  // namespace sts::core

@@ -1,0 +1,239 @@
+#include "dag/dag.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sts::dag {
+
+namespace {
+
+/// Builds a CSR-style adjacency from (key, value) pairs with keys in [0, n).
+/// Pairs must be pre-sorted and deduplicated by the caller.
+void buildAdjacency(index_t n, std::span<const Edge> pairs,
+                    bool key_is_parent, std::vector<offset_t>& ptr,
+                    std::vector<index_t>& adj) {
+  ptr.assign(static_cast<size_t>(n) + 1, 0);
+  for (const auto& [u, v] : pairs) {
+    const index_t key = key_is_parent ? u : v;
+    ++ptr[static_cast<size_t>(key) + 1];
+  }
+  std::partial_sum(ptr.begin(), ptr.end(), ptr.begin());
+  adj.resize(pairs.size());
+  std::vector<offset_t> cursor(ptr.begin(), ptr.end() - 1);
+  for (const auto& [u, v] : pairs) {
+    const index_t key = key_is_parent ? u : v;
+    const index_t value = key_is_parent ? v : u;
+    adj[static_cast<size_t>(cursor[static_cast<size_t>(key)]++)] = value;
+  }
+  // Sort each neighborhood (stable layout for tests and determinism).
+  for (index_t v = 0; v < n; ++v) {
+    std::sort(adj.begin() + static_cast<std::ptrdiff_t>(ptr[static_cast<size_t>(v)]),
+              adj.begin() + static_cast<std::ptrdiff_t>(ptr[static_cast<size_t>(v) + 1]));
+  }
+}
+
+}  // namespace
+
+Dag Dag::fromEdges(index_t n, std::span<const Edge> edges,
+                   std::span<const weight_t> weights) {
+  if (n < 0) throw std::invalid_argument("Dag::fromEdges: negative n");
+  if (!weights.empty() && static_cast<index_t>(weights.size()) != n) {
+    throw std::invalid_argument("Dag::fromEdges: weights size mismatch");
+  }
+  std::vector<Edge> sorted(edges.begin(), edges.end());
+  for (const auto& [u, v] : sorted) {
+    if (u < 0 || u >= n || v < 0 || v >= n) {
+      throw std::invalid_argument("Dag::fromEdges: edge endpoint out of range");
+    }
+    if (u == v) throw std::invalid_argument("Dag::fromEdges: self-loop");
+  }
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  Dag d;
+  d.n_ = n;
+  d.weight_ = weights.empty()
+                  ? std::vector<weight_t>(static_cast<size_t>(n), 1)
+                  : std::vector<weight_t>(weights.begin(), weights.end());
+  for (const weight_t w : d.weight_) {
+    if (w <= 0) throw std::invalid_argument("Dag::fromEdges: weight <= 0");
+  }
+  d.total_weight_ =
+      std::accumulate(d.weight_.begin(), d.weight_.end(), weight_t{0});
+  buildAdjacency(n, sorted, /*key_is_parent=*/true, d.out_ptr_, d.out_adj_);
+  buildAdjacency(n, sorted, /*key_is_parent=*/false, d.in_ptr_, d.in_adj_);
+  return d;
+}
+
+Dag Dag::fromLowerTriangular(const sparse::CsrMatrix& lower) {
+  if (lower.rows() != lower.cols()) {
+    throw std::invalid_argument("fromLowerTriangular: matrix must be square");
+  }
+  if (!lower.isLowerTriangular()) {
+    throw std::invalid_argument("fromLowerTriangular: matrix is not lower triangular");
+  }
+  const index_t n = lower.rows();
+
+  Dag d;
+  d.n_ = n;
+  d.weight_.resize(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    d.weight_[static_cast<size_t>(i)] =
+        std::max<weight_t>(1, lower.rowNnz(i));
+  }
+  d.total_weight_ =
+      std::accumulate(d.weight_.begin(), d.weight_.end(), weight_t{0});
+
+  // Parents of i are exactly the off-diagonal columns of row i (sorted).
+  d.in_ptr_.assign(static_cast<size_t>(n) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    offset_t cnt = 0;
+    for (const index_t j : lower.rowCols(i)) cnt += (j < i) ? 1 : 0;
+    d.in_ptr_[static_cast<size_t>(i) + 1] = cnt;
+  }
+  std::partial_sum(d.in_ptr_.begin(), d.in_ptr_.end(), d.in_ptr_.begin());
+  d.in_adj_.resize(static_cast<size_t>(d.in_ptr_.back()));
+  {
+    offset_t k = 0;
+    for (index_t i = 0; i < n; ++i) {
+      for (const index_t j : lower.rowCols(i)) {
+        if (j < i) d.in_adj_[static_cast<size_t>(k++)] = j;
+      }
+    }
+  }
+  // Children = transpose of parents; filling in increasing child order keeps
+  // each child list sorted.
+  d.out_ptr_.assign(static_cast<size_t>(n) + 1, 0);
+  for (const index_t j : d.in_adj_) ++d.out_ptr_[static_cast<size_t>(j) + 1];
+  std::partial_sum(d.out_ptr_.begin(), d.out_ptr_.end(), d.out_ptr_.begin());
+  d.out_adj_.resize(d.in_adj_.size());
+  {
+    std::vector<offset_t> cursor(d.out_ptr_.begin(), d.out_ptr_.end() - 1);
+    for (index_t i = 0; i < n; ++i) {
+      for (offset_t k = d.in_ptr_[static_cast<size_t>(i)];
+           k < d.in_ptr_[static_cast<size_t>(i) + 1]; ++k) {
+        const auto j = static_cast<size_t>(d.in_adj_[static_cast<size_t>(k)]);
+        d.out_adj_[static_cast<size_t>(cursor[j]++)] = i;
+      }
+    }
+  }
+  return d;
+}
+
+Dag Dag::fromUpperTriangular(const sparse::CsrMatrix& upper) {
+  if (upper.rows() != upper.cols()) {
+    throw std::invalid_argument("fromUpperTriangular: matrix must be square");
+  }
+  if (!upper.isUpperTriangular()) {
+    throw std::invalid_argument("fromUpperTriangular: matrix is not upper triangular");
+  }
+  const index_t n = upper.rows();
+  // Backward substitution runs rows n-1..0; relabel k = n-1-i so that the
+  // DAG keeps the "edges ascend IDs" property of the forward case.
+  std::vector<Edge> edges;
+  std::vector<weight_t> weights(static_cast<size_t>(n), 1);
+  for (index_t i = 0; i < n; ++i) {
+    weights[static_cast<size_t>(n - 1 - i)] =
+        std::max<weight_t>(1, upper.rowNnz(i));
+    for (const index_t j : upper.rowCols(i)) {
+      if (j > i) edges.emplace_back(n - 1 - j, n - 1 - i);
+    }
+  }
+  return fromEdges(n, edges, weights);
+}
+
+bool Dag::hasEdge(index_t parent, index_t child) const {
+  const auto kids = children(parent);
+  return std::binary_search(kids.begin(), kids.end(), child);
+}
+
+std::vector<index_t> Dag::sources() const {
+  std::vector<index_t> s;
+  for (index_t v = 0; v < n_; ++v) {
+    if (inDegree(v) == 0) s.push_back(v);
+  }
+  return s;
+}
+
+std::vector<index_t> Dag::sinks() const {
+  std::vector<index_t> s;
+  for (index_t v = 0; v < n_; ++v) {
+    if (outDegree(v) == 0) s.push_back(v);
+  }
+  return s;
+}
+
+bool Dag::isAcyclic() const {
+  std::vector<index_t> indeg(static_cast<size_t>(n_));
+  std::vector<index_t> queue;
+  for (index_t v = 0; v < n_; ++v) {
+    indeg[static_cast<size_t>(v)] = inDegree(v);
+    if (indeg[static_cast<size_t>(v)] == 0) queue.push_back(v);
+  }
+  size_t processed = 0;
+  while (processed < queue.size()) {
+    const index_t v = queue[processed++];
+    for (const index_t u : children(v)) {
+      if (--indeg[static_cast<size_t>(u)] == 0) queue.push_back(u);
+    }
+  }
+  return processed == static_cast<size_t>(n_);
+}
+
+Dag Dag::rangeSubgraph(index_t lo, index_t hi) const {
+  if (lo < 0 || hi < lo || hi > n_) {
+    throw std::invalid_argument("rangeSubgraph: bad range");
+  }
+  const index_t m = hi - lo;
+  std::vector<Edge> edges;
+  for (index_t v = lo; v < hi; ++v) {
+    for (const index_t u : parents(v)) {
+      if (u >= lo && u < hi) edges.emplace_back(u - lo, v - lo);
+    }
+  }
+  std::vector<weight_t> w(weight_.begin() + lo, weight_.begin() + hi);
+  return fromEdges(m, edges, w);
+}
+
+void Dag::validate() const {
+  if (out_ptr_.size() != static_cast<size_t>(n_) + 1 ||
+      in_ptr_.size() != static_cast<size_t>(n_) + 1) {
+    throw std::logic_error("Dag: pointer array size mismatch");
+  }
+  if (out_adj_.size() != in_adj_.size()) {
+    throw std::logic_error("Dag: in/out edge count mismatch");
+  }
+  if (weight_.size() != static_cast<size_t>(n_)) {
+    throw std::logic_error("Dag: weight size mismatch");
+  }
+  for (index_t v = 0; v < n_; ++v) {
+    if (weight_[static_cast<size_t>(v)] <= 0) {
+      throw std::logic_error("Dag: non-positive weight");
+    }
+    const auto kids = children(v);
+    for (size_t k = 0; k < kids.size(); ++k) {
+      if (kids[k] < 0 || kids[k] >= n_ || kids[k] == v) {
+        throw std::logic_error("Dag: bad child");
+      }
+      if (k > 0 && kids[k] <= kids[k - 1]) {
+        throw std::logic_error("Dag: children not strictly sorted");
+      }
+      const auto pars = parents(kids[k]);
+      if (!std::binary_search(pars.begin(), pars.end(), v)) {
+        throw std::logic_error("Dag: adjacency not mirrored");
+      }
+    }
+  }
+}
+
+std::vector<Edge> Dag::edgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(numEdges()));
+  for (index_t v = 0; v < n_; ++v) {
+    for (const index_t u : children(v)) edges.emplace_back(v, u);
+  }
+  return edges;
+}
+
+}  // namespace sts::dag

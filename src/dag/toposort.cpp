@@ -1,0 +1,57 @@
+#include "dag/toposort.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "sparse/permute.hpp"
+
+namespace sts::dag {
+
+std::optional<std::vector<index_t>> topologicalOrder(const Dag& dag) {
+  const index_t n = dag.numVertices();
+  std::vector<index_t> indeg(static_cast<size_t>(n));
+  // Min-heap on vertex ID for a canonical order.
+  std::priority_queue<index_t, std::vector<index_t>, std::greater<>> ready;
+  for (index_t v = 0; v < n; ++v) {
+    indeg[static_cast<size_t>(v)] = dag.inDegree(v);
+    if (indeg[static_cast<size_t>(v)] == 0) ready.push(v);
+  }
+  std::vector<index_t> order;
+  order.reserve(static_cast<size_t>(n));
+  while (!ready.empty()) {
+    const index_t v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (const index_t u : dag.children(v)) {
+      if (--indeg[static_cast<size_t>(u)] == 0) ready.push(u);
+    }
+  }
+  if (order.size() != static_cast<size_t>(n)) return std::nullopt;
+  return order;
+}
+
+std::optional<std::vector<index_t>> reverseTopologicalOrder(const Dag& dag) {
+  auto order = topologicalOrder(dag);
+  if (order) std::reverse(order->begin(), order->end());
+  return order;
+}
+
+bool isTopologicalOrder(const Dag& dag, std::span<const index_t> order) {
+  const index_t n = dag.numVertices();
+  if (static_cast<index_t>(order.size()) != n) return false;
+  if (!sparse::isPermutation(order)) return false;
+  std::vector<index_t> position(static_cast<size_t>(n));
+  for (size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<size_t>(order[i])] = static_cast<index_t>(i);
+  }
+  for (index_t v = 0; v < n; ++v) {
+    for (const index_t u : dag.children(v)) {
+      if (position[static_cast<size_t>(v)] >= position[static_cast<size_t>(u)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sts::dag

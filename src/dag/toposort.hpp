@@ -1,0 +1,26 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dag/dag.hpp"
+
+/// \file toposort.hpp
+/// Topological orderings (Kahn 1962) used by coarsening (Alg. 4.1 iterates
+/// vertices in reverse topological order) and by validators.
+
+namespace sts::dag {
+
+/// Kahn topological order with a smallest-ID tie-break (deterministic).
+/// Returns std::nullopt if the graph has a cycle.
+std::optional<std::vector<index_t>> topologicalOrder(const Dag& dag);
+
+/// order reversed; convenience for Alg. 4.1.
+std::optional<std::vector<index_t>> reverseTopologicalOrder(const Dag& dag);
+
+/// True iff `order` is a permutation of the vertices where every edge goes
+/// from an earlier to a later position.
+bool isTopologicalOrder(const Dag& dag, std::span<const index_t> order);
+
+}  // namespace sts::dag

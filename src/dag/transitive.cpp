@@ -1,0 +1,86 @@
+#include "dag/transitive.hpp"
+
+#include <vector>
+
+namespace sts::dag {
+
+TransitiveReductionResult approximateTransitiveReduction(
+    const Dag& dag, const TransitiveReductionOptions& opts) {
+  const index_t n = dag.numVertices();
+
+  // parent_slot[u] = 1 + position of u in parents(v) while processing v.
+  std::vector<offset_t> parent_slot(static_cast<size_t>(n), 0);
+  std::vector<index_t> touched;
+
+  std::vector<char> edge_removed;  // aligned with in-edge positions of v
+  std::vector<Edge> kept;
+  kept.reserve(static_cast<size_t>(dag.numEdges()));
+
+  offset_t inspections = 0;
+  offset_t removed = 0;
+  bool exhausted = false;
+  index_t resume_from = n;  // first vertex not fully processed
+
+  for (index_t v = 0; v < n && !exhausted; ++v) {
+    const auto pars = dag.parents(v);
+    touched.clear();
+    for (size_t k = 0; k < pars.size(); ++k) {
+      parent_slot[static_cast<size_t>(pars[k])] = static_cast<offset_t>(k) + 1;
+      touched.push_back(pars[k]);
+    }
+    edge_removed.assign(pars.size(), 0);
+    // Edge (u, v) is redundant if some other parent w of v has u as parent:
+    // then u -> w -> v is a two-step path.
+    for (const index_t w : pars) {
+      for (const index_t u : dag.parents(w)) {
+        if (opts.max_inspections >= 0 && ++inspections > opts.max_inspections) {
+          exhausted = true;
+          break;
+        }
+        const offset_t slot = parent_slot[static_cast<size_t>(u)];
+        if (slot > 0 && !edge_removed[static_cast<size_t>(slot - 1)]) {
+          edge_removed[static_cast<size_t>(slot - 1)] = 1;
+          ++removed;
+        }
+      }
+      if (exhausted) break;
+    }
+    for (size_t k = 0; k < pars.size(); ++k) {
+      if (!edge_removed[k]) kept.emplace_back(pars[k], v);
+    }
+    for (const index_t u : touched) parent_slot[static_cast<size_t>(u)] = 0;
+    if (exhausted) resume_from = v + 1;
+  }
+  if (exhausted) {
+    // Keep all remaining edges untouched: the reduction is only an
+    // optimization and partial application is still sound.
+    for (index_t v2 = resume_from; v2 < n; ++v2) {
+      for (const index_t u : dag.parents(v2)) kept.emplace_back(u, v2);
+    }
+  }
+
+  TransitiveReductionResult result{
+      Dag::fromEdges(n, kept, dag.weights()), removed, exhausted};
+  return result;
+}
+
+bool isReachable(const Dag& dag, index_t from, index_t to) {
+  if (from == to) return true;
+  std::vector<char> seen(static_cast<size_t>(dag.numVertices()), 0);
+  std::vector<index_t> stack = {from};
+  seen[static_cast<size_t>(from)] = 1;
+  while (!stack.empty()) {
+    const index_t v = stack.back();
+    stack.pop_back();
+    for (const index_t u : dag.children(v)) {
+      if (u == to) return true;
+      if (!seen[static_cast<size_t>(u)]) {
+        seen[static_cast<size_t>(u)] = 1;
+        stack.push_back(u);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace sts::dag

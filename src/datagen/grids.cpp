@@ -1,0 +1,172 @@
+#include "datagen/grids.hpp"
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace sts::datagen {
+
+namespace {
+
+using sts::Triplet;
+
+void requirePositive(index_t a, index_t b, index_t c = 1) {
+  if (a <= 0 || b <= 0 || c <= 0) {
+    throw std::invalid_argument("grid generator: dimensions must be positive");
+  }
+}
+
+}  // namespace
+
+CsrMatrix grid2dLaplacian5(index_t nx, index_t ny) {
+  requirePositive(nx, ny);
+  const index_t n = nx * ny;
+  std::vector<Triplet> t;
+  t.reserve(static_cast<size_t>(n) * 5);
+  auto id = [nx](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = id(x, y);
+      t.push_back({v, v, 4.0});
+      if (x > 0) t.push_back({v, id(x - 1, y), -1.0});
+      if (x + 1 < nx) t.push_back({v, id(x + 1, y), -1.0});
+      if (y > 0) t.push_back({v, id(x, y - 1), -1.0});
+      if (y + 1 < ny) t.push_back({v, id(x, y + 1), -1.0});
+    }
+  }
+  return CsrMatrix::fromTriplets(n, n, t);
+}
+
+CsrMatrix grid2dLaplacian9(index_t nx, index_t ny) {
+  requirePositive(nx, ny);
+  const index_t n = nx * ny;
+  std::vector<Triplet> t;
+  t.reserve(static_cast<size_t>(n) * 9);
+  auto id = [nx](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = id(x, y);
+      t.push_back({v, v, 8.0});
+      for (index_t dy = -1; dy <= 1; ++dy) {
+        for (index_t dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const index_t xx = x + dx, yy = y + dy;
+          if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+          t.push_back({v, id(xx, yy), -1.0});
+        }
+      }
+    }
+  }
+  return CsrMatrix::fromTriplets(n, n, t);
+}
+
+CsrMatrix grid2dAnisotropic(index_t nx, index_t ny, double eps) {
+  requirePositive(nx, ny);
+  if (eps <= 0.0) {
+    throw std::invalid_argument("grid2dAnisotropic: eps must be positive");
+  }
+  const index_t n = nx * ny;
+  std::vector<Triplet> t;
+  t.reserve(static_cast<size_t>(n) * 5);
+  auto id = [nx](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = id(x, y);
+      t.push_back({v, v, 2.0 * (1.0 + eps)});
+      if (x > 0) t.push_back({v, id(x - 1, y), -1.0});
+      if (x + 1 < nx) t.push_back({v, id(x + 1, y), -1.0});
+      if (y > 0) t.push_back({v, id(x, y - 1), -eps});
+      if (y + 1 < ny) t.push_back({v, id(x, y + 1), -eps});
+    }
+  }
+  return CsrMatrix::fromTriplets(n, n, t);
+}
+
+CsrMatrix grid3dLaplacian7(index_t nx, index_t ny, index_t nz) {
+  requirePositive(nx, ny, nz);
+  const index_t n = nx * ny * nz;
+  std::vector<Triplet> t;
+  t.reserve(static_cast<size_t>(n) * 7);
+  auto id = [nx, ny](index_t x, index_t y, index_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t v = id(x, y, z);
+        t.push_back({v, v, 6.0});
+        if (x > 0) t.push_back({v, id(x - 1, y, z), -1.0});
+        if (x + 1 < nx) t.push_back({v, id(x + 1, y, z), -1.0});
+        if (y > 0) t.push_back({v, id(x, y - 1, z), -1.0});
+        if (y + 1 < ny) t.push_back({v, id(x, y + 1, z), -1.0});
+        if (z > 0) t.push_back({v, id(x, y, z - 1), -1.0});
+        if (z + 1 < nz) t.push_back({v, id(x, y, z + 1), -1.0});
+      }
+    }
+  }
+  return CsrMatrix::fromTriplets(n, n, t);
+}
+
+CsrMatrix grid3dLaplacian27(index_t nx, index_t ny, index_t nz) {
+  requirePositive(nx, ny, nz);
+  const index_t n = nx * ny * nz;
+  std::vector<Triplet> t;
+  t.reserve(static_cast<size_t>(n) * 27);
+  auto id = [nx, ny](index_t x, index_t y, index_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t v = id(x, y, z);
+        t.push_back({v, v, 26.0});
+        for (index_t dz = -1; dz <= 1; ++dz) {
+          for (index_t dy = -1; dy <= 1; ++dy) {
+            for (index_t dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const index_t xx = x + dx, yy = y + dy, zz = z + dz;
+              if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
+                  zz >= nz) {
+                continue;
+              }
+              t.push_back({v, id(xx, yy, zz), -1.0});
+            }
+          }
+        }
+      }
+    }
+  }
+  return CsrMatrix::fromTriplets(n, n, t);
+}
+
+CsrMatrix bandedSpd(index_t n, index_t bandwidth, double fill,
+                    std::uint64_t seed) {
+  if (n < 0 || bandwidth < 0 || fill < 0.0 || fill > 1.0) {
+    throw std::invalid_argument("bandedSpd: bad parameters");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_real_distribution<double> mag(0.01, 1.0);
+  std::vector<Triplet> t;
+  std::vector<double> row_abs_sum(static_cast<size_t>(n), 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t j_lo = std::max<index_t>(0, i - bandwidth);
+    for (index_t j = j_lo; j < i; ++j) {
+      if (unit(rng) < fill) {
+        const double v = mag(rng) * ((rng() & 1) ? 1.0 : -1.0);
+        t.push_back({i, j, v});
+        t.push_back({j, i, v});
+        row_abs_sum[static_cast<size_t>(i)] += std::abs(v);
+        row_abs_sum[static_cast<size_t>(j)] += std::abs(v);
+      }
+    }
+  }
+  for (index_t i = 0; i < n; ++i) {
+    t.push_back({i, i, 1.0 + row_abs_sum[static_cast<size_t>(i)]});
+  }
+  return CsrMatrix::fromTriplets(n, n, t);
+}
+
+}  // namespace sts::datagen

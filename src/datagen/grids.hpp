@@ -1,0 +1,45 @@
+#pragma once
+
+#include "sparse/csr.hpp"
+
+/// \file grids.hpp
+/// Symmetric positive definite grid Laplacians: the stand-in for the
+/// paper's SuiteSparse SPD matrices (DESIGN.md substitutions). Finite
+/// element / finite difference discretizations are exactly the matrix class
+/// the SuiteSparse SPD collection is dominated by; their lower triangles
+/// inherit the "well-ordered, moderate wavefront" structure the paper
+/// highlights (§3: application matrices are often already ordered superbly
+/// with respect to locality).
+///
+/// All functions return the full symmetric matrix; take .lowerTriangle()
+/// for the SpTRSV instance.
+
+namespace sts::datagen {
+
+using sparse::CsrMatrix;
+using sts::index_t;
+
+/// 5-point Laplacian on an nx-by-ny grid: diag 4, neighbors -1 (Dirichlet).
+CsrMatrix grid2dLaplacian5(index_t nx, index_t ny);
+
+/// 9-point Laplacian (Moore neighborhood): diag 8, 8 neighbors -1.
+CsrMatrix grid2dLaplacian9(index_t nx, index_t ny);
+
+/// Anisotropic 5-point operator: horizontal coupling -1, vertical -eps,
+/// diag 2(1+eps). Long, thin wavefronts; stresses load balancing.
+CsrMatrix grid2dAnisotropic(index_t nx, index_t ny, double eps);
+
+/// 7-point Laplacian on an nx-by-ny-by-nz grid: diag 6, neighbors -1.
+CsrMatrix grid3dLaplacian7(index_t nx, index_t ny, index_t nz);
+
+/// 27-point Laplacian: diag 26, full 3x3x3 neighborhood -1. Dense-ish rows
+/// like the paper's audikw_1 / Queen_4147 class.
+CsrMatrix grid3dLaplacian27(index_t nx, index_t ny, index_t nz);
+
+/// Symmetric diagonally-dominant banded random matrix (SPD): entries in
+/// [0.01, 1] magnitude at |i-j| <= bandwidth with probability `fill`,
+/// diagonal = 1 + sum of absolute off-diagonal row entries.
+CsrMatrix bandedSpd(index_t n, index_t bandwidth, double fill,
+                    std::uint64_t seed);
+
+}  // namespace sts::datagen

@@ -1,0 +1,144 @@
+#include "datagen/random_matrices.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace sts::datagen {
+
+namespace {
+
+/// |d| log-uniform in [1/2, 2], sign uniform (§6.2.4; keeps the diagonal
+/// away from zero for numerical stability).
+double drawDiagonal(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const double magnitude = std::exp2(2.0 * unit(rng) - 1.0);  // 2^U[-1,1]
+  return (rng() & 1) ? magnitude : -magnitude;
+}
+
+double drawOffDiagonal(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  return dist(rng);
+}
+
+/// Assembles a lower triangular CSR from per-row off-diagonal column lists,
+/// drawing values and appending the diagonal entry last.
+CsrMatrix assembleLower(index_t n,
+                        const std::vector<std::vector<index_t>>& row_cols,
+                        std::mt19937_64& rng, bool stabilize) {
+  std::vector<sts::offset_t> row_ptr(static_cast<size_t>(n) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    row_ptr[static_cast<size_t>(i) + 1] =
+        row_ptr[static_cast<size_t>(i)] +
+        static_cast<sts::offset_t>(row_cols[static_cast<size_t>(i)].size()) + 1;
+  }
+  std::vector<index_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(static_cast<size_t>(row_ptr.back()));
+  values.reserve(static_cast<size_t>(row_ptr.back()));
+  for (index_t i = 0; i < n; ++i) {
+    const auto& cols = row_cols[static_cast<size_t>(i)];
+    const double scale =
+        stabilize ? 1.0 / static_cast<double>(std::max<size_t>(1, cols.size()))
+                  : 1.0;
+    for (const index_t j : cols) {
+      col_idx.push_back(j);
+      values.push_back(drawOffDiagonal(rng) * scale);
+    }
+    col_idx.push_back(i);
+    values.push_back(drawDiagonal(rng));
+  }
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace
+
+CsrMatrix erdosRenyiLower(const ErdosRenyiOptions& opts) {
+  if (opts.n < 0 || opts.p < 0.0 || opts.p > 1.0) {
+    throw std::invalid_argument("erdosRenyiLower: bad parameters");
+  }
+  std::mt19937_64 rng(opts.seed);
+  std::vector<std::vector<index_t>> row_cols(static_cast<size_t>(opts.n));
+  if (opts.p > 0.0) {
+    // Geometric skipping: visit only the Bernoulli successes of each row.
+    std::geometric_distribution<index_t> skip(opts.p);
+    for (index_t i = 1; i < opts.n; ++i) {
+      index_t j = skip(rng);
+      while (j < i) {
+        row_cols[static_cast<size_t>(i)].push_back(j);
+        j += 1 + skip(rng);
+      }
+    }
+  }
+  return assembleLower(opts.n, row_cols, rng, opts.stabilize_values);
+}
+
+CsrMatrix narrowBandLower(const NarrowBandOptions& opts) {
+  if (opts.n < 0 || opts.p < 0.0 || opts.p > 1.0 || opts.b <= 0.0) {
+    throw std::invalid_argument("narrowBandLower: bad parameters");
+  }
+  std::mt19937_64 rng(opts.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  // Probability decays as exp(-(distance-1)/b); beyond this offset it is
+  // below 1e-12 and entries can be skipped entirely.
+  const auto max_offset = static_cast<index_t>(
+      std::ceil(1.0 + opts.b * std::log(std::max(opts.p, 1e-300) * 1e12)));
+  std::vector<std::vector<index_t>> row_cols(static_cast<size_t>(opts.n));
+  for (index_t i = 1; i < opts.n; ++i) {
+    const index_t j_lo = std::max<index_t>(0, i - std::max<index_t>(1, max_offset));
+    for (index_t j = j_lo; j < i; ++j) {
+      const double prob =
+          opts.p * std::exp((1.0 + static_cast<double>(j - i)) / opts.b);
+      if (unit(rng) < prob) row_cols[static_cast<size_t>(i)].push_back(j);
+    }
+  }
+  return assembleLower(opts.n, row_cols, rng, opts.stabilize_values);
+}
+
+CsrMatrix chainLower(index_t n) {
+  std::vector<std::vector<index_t>> row_cols(static_cast<size_t>(n));
+  for (index_t i = 1; i < n; ++i) {
+    row_cols[static_cast<size_t>(i)].push_back(i - 1);
+  }
+  std::mt19937_64 rng(7);
+  return assembleLower(n, row_cols, rng, true);
+}
+
+CsrMatrix diagonalMatrix(index_t n) {
+  std::vector<std::vector<index_t>> row_cols(static_cast<size_t>(n));
+  std::mt19937_64 rng(11);
+  return assembleLower(n, row_cols, rng, true);
+}
+
+CsrMatrix denseLower(index_t n) {
+  std::vector<std::vector<index_t>> row_cols(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < i; ++j) {
+      row_cols[static_cast<size_t>(i)].push_back(j);
+    }
+  }
+  std::mt19937_64 rng(13);
+  return assembleLower(n, row_cols, rng, true);
+}
+
+CsrMatrix bandedLower(index_t n, index_t bandwidth, double fill,
+                      std::uint64_t seed) {
+  if (bandwidth < 0 || fill < 0.0 || fill > 1.0) {
+    throw std::invalid_argument("bandedLower: bad parameters");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::vector<index_t>> row_cols(static_cast<size_t>(n));
+  for (index_t i = 1; i < n; ++i) {
+    const index_t j_lo = std::max<index_t>(0, i - bandwidth);
+    for (index_t j = j_lo; j < i; ++j) {
+      if (unit(rng) < fill) row_cols[static_cast<size_t>(i)].push_back(j);
+    }
+  }
+  return assembleLower(n, row_cols, rng, true);
+}
+
+}  // namespace sts::datagen

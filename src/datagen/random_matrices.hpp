@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+/// \file random_matrices.hpp
+/// Random lower triangular matrix generators following the paper's recipes:
+/// Erdős–Rényi (§6.2.4) and narrow-bandwidth (§6.2.5), plus structured
+/// extremes used by tests (chain, diagonal, dense triangle).
+///
+/// All generators are deterministic in (parameters, seed).
+///
+/// Value distributions follow §6.2.4: off-diagonal entries uniform in
+/// [-2, 2]; |diagonal| log-uniform in [1/2, 2] with a random sign. With
+/// `stabilize_values` (default), off-diagonal entries are additionally
+/// scaled by 1/max(1, off-diagonal row count): identical sparsity pattern
+/// (what scheduling and timing depend on) but bounded solution growth, so
+/// long substitution chains cannot overflow to inf/NaN and distort kernels
+/// with non-finite arithmetic. See DESIGN.md substitutions.
+
+namespace sts::datagen {
+
+using sparse::CsrMatrix;
+using sts::index_t;
+
+struct ErdosRenyiOptions {
+  index_t n = 1000;
+  /// Each entry (i, j), i > j, is present independently with probability p.
+  double p = 1e-3;
+  std::uint64_t seed = 1;
+  bool stabilize_values = true;
+};
+
+/// Lower triangular Erdős–Rényi matrix (full diagonal always present).
+CsrMatrix erdosRenyiLower(const ErdosRenyiOptions& opts);
+
+struct NarrowBandOptions {
+  index_t n = 1000;
+  /// Entry (i, j), i > j, present with probability p * exp((1 + j - i) / b).
+  double p = 0.14;
+  double b = 10.0;
+  std::uint64_t seed = 1;
+  bool stabilize_values = true;
+};
+
+/// Narrow-bandwidth random lower triangular matrix: hard to parallelize by
+/// design (long dependency chains) but with good locality (§6.2.5).
+CsrMatrix narrowBandLower(const NarrowBandOptions& opts);
+
+/// Bidiagonal chain: row i depends on row i-1; the worst case for
+/// parallelism (a single wavefront per vertex).
+CsrMatrix chainLower(index_t n);
+
+/// Diagonal matrix: fully parallel (one wavefront).
+CsrMatrix diagonalMatrix(index_t n);
+
+/// Fully dense lower triangle; n kept small by callers.
+CsrMatrix denseLower(index_t n);
+
+/// Random banded lower triangular matrix: every entry within `bandwidth`
+/// of the diagonal present with probability `fill`.
+CsrMatrix bandedLower(index_t n, index_t bandwidth, double fill,
+                      std::uint64_t seed);
+
+}  // namespace sts::datagen

@@ -1,0 +1,176 @@
+#include "exec/bsp.hpp"
+
+#include <omp.h>
+
+#include <stdexcept>
+
+#include "exec/serial.hpp"
+
+namespace sts::exec {
+
+namespace {
+
+/// One substitution step; the diagonal is the last entry of the row.
+inline void computeRow(std::span<const offset_t> row_ptr,
+                       std::span<const index_t> col_idx,
+                       std::span<const double> values,
+                       std::span<const double> b, std::span<double> x,
+                       index_t i) {
+  const auto begin = static_cast<size_t>(row_ptr[static_cast<size_t>(i)]);
+  const auto diag = static_cast<size_t>(row_ptr[static_cast<size_t>(i) + 1]) - 1;
+  double acc = b[static_cast<size_t>(i)];
+  for (size_t k = begin; k < diag; ++k) {
+    acc -= values[k] * x[static_cast<size_t>(col_idx[k])];
+  }
+  x[static_cast<size_t>(i)] = acc / values[diag];
+}
+
+}  // namespace
+
+BspExecutor::BspExecutor(const CsrMatrix& lower, const Schedule& schedule)
+    : lower_(lower),
+      num_threads_(schedule.numCores()),
+      num_supersteps_(schedule.numSupersteps()),
+      barrier_(schedule.numCores()) {
+  requireSolvableLower(lower);
+  if (schedule.numVertices() != lower.rows()) {
+    throw std::invalid_argument("BspExecutor: schedule/matrix size mismatch");
+  }
+  thread_verts_.resize(static_cast<size_t>(num_threads_));
+  thread_step_ptr_.resize(static_cast<size_t>(num_threads_));
+  for (int t = 0; t < num_threads_; ++t) {
+    auto& verts = thread_verts_[static_cast<size_t>(t)];
+    auto& ptr = thread_step_ptr_[static_cast<size_t>(t)];
+    ptr.push_back(0);
+    for (index_t s = 0; s < num_supersteps_; ++s) {
+      const auto group = schedule.group(s, t);
+      verts.insert(verts.end(), group.begin(), group.end());
+      ptr.push_back(static_cast<offset_t>(verts.size()));
+    }
+  }
+}
+
+void BspExecutor::solve(std::span<const double> b, std::span<double> x) const {
+  if (static_cast<index_t>(b.size()) != lower_.rows() ||
+      static_cast<index_t>(x.size()) != lower_.rows()) {
+    throw std::invalid_argument("BspExecutor::solve: vector size mismatch");
+  }
+  const auto row_ptr = lower_.rowPtr();
+  const auto col_idx = lower_.colIdx();
+  const auto values = lower_.values();
+  const index_t steps = num_supersteps_;
+  const bool sync = num_threads_ > 1;
+
+  omp_set_dynamic(0);
+#pragma omp parallel num_threads(num_threads_)
+  {
+    const int t = omp_get_thread_num();
+    int sense = barrier_.initialSense();
+    const auto& verts = thread_verts_[static_cast<size_t>(t)];
+    const auto& ptr = thread_step_ptr_[static_cast<size_t>(t)];
+    for (index_t s = 0; s < steps; ++s) {
+      const auto begin = static_cast<size_t>(ptr[static_cast<size_t>(s)]);
+      const auto end = static_cast<size_t>(ptr[static_cast<size_t>(s) + 1]);
+      for (size_t k = begin; k < end; ++k) {
+        computeRow(row_ptr, col_idx, values, b, x, verts[k]);
+      }
+      if (sync) barrier_.wait(sense);
+    }
+  }
+}
+
+void BspExecutor::solveMultiRhs(std::span<const double> b,
+                                std::span<double> x, index_t nrhs) const {
+  const auto n = static_cast<size_t>(lower_.rows());
+  if (nrhs <= 0 || b.size() != n * static_cast<size_t>(nrhs) ||
+      x.size() != b.size()) {
+    throw std::invalid_argument("BspExecutor::solveMultiRhs: size mismatch");
+  }
+  const auto row_ptr = lower_.rowPtr();
+  const auto col_idx = lower_.colIdx();
+  const auto values = lower_.values();
+  const index_t steps = num_supersteps_;
+  const bool sync = num_threads_ > 1;
+  const auto r = static_cast<size_t>(nrhs);
+
+  omp_set_dynamic(0);
+#pragma omp parallel num_threads(num_threads_)
+  {
+    const int t = omp_get_thread_num();
+    int sense = barrier_.initialSense();
+    const auto& verts = thread_verts_[static_cast<size_t>(t)];
+    const auto& ptr = thread_step_ptr_[static_cast<size_t>(t)];
+    for (index_t s = 0; s < steps; ++s) {
+      const auto begin = static_cast<size_t>(ptr[static_cast<size_t>(s)]);
+      const auto end = static_cast<size_t>(ptr[static_cast<size_t>(s) + 1]);
+      for (size_t k = begin; k < end; ++k) {
+        const auto i = static_cast<size_t>(verts[k]);
+        const auto row_begin = static_cast<size_t>(row_ptr[i]);
+        const auto diag = static_cast<size_t>(row_ptr[i + 1]) - 1;
+        double* xi = x.data() + i * r;
+        const double* bi = b.data() + i * r;
+        for (size_t c = 0; c < r; ++c) xi[c] = bi[c];
+        for (size_t e = row_begin; e < diag; ++e) {
+          const double a = values[e];
+          const double* xj = x.data() + static_cast<size_t>(col_idx[e]) * r;
+          for (size_t c = 0; c < r; ++c) xi[c] -= a * xj[c];
+        }
+        const double d = values[diag];
+        for (size_t c = 0; c < r; ++c) xi[c] /= d;
+      }
+      if (sync) barrier_.wait(sense);
+    }
+  }
+}
+
+ContiguousBspExecutor::ContiguousBspExecutor(const CsrMatrix& permuted_lower,
+                                             index_t num_supersteps,
+                                             int num_cores,
+                                             std::vector<offset_t> group_ptr)
+    : lower_(permuted_lower),
+      num_supersteps_(num_supersteps),
+      num_threads_(num_cores),
+      group_ptr_(std::move(group_ptr)),
+      barrier_(num_cores) {
+  requireSolvableLower(permuted_lower);
+  const size_t groups = static_cast<size_t>(num_supersteps) *
+                        static_cast<size_t>(num_cores);
+  if (group_ptr_.size() != groups + 1 || group_ptr_.front() != 0 ||
+      group_ptr_.back() != static_cast<offset_t>(permuted_lower.rows())) {
+    throw std::invalid_argument("ContiguousBspExecutor: bad group_ptr");
+  }
+}
+
+void ContiguousBspExecutor::solve(std::span<const double> b,
+                                  std::span<double> x) const {
+  if (static_cast<index_t>(b.size()) != lower_.rows() ||
+      static_cast<index_t>(x.size()) != lower_.rows()) {
+    throw std::invalid_argument(
+        "ContiguousBspExecutor::solve: vector size mismatch");
+  }
+  const auto row_ptr = lower_.rowPtr();
+  const auto col_idx = lower_.colIdx();
+  const auto values = lower_.values();
+  const index_t steps = num_supersteps_;
+  const int cores = num_threads_;
+  const bool sync = cores > 1;
+
+  omp_set_dynamic(0);
+#pragma omp parallel num_threads(cores)
+  {
+    const int t = omp_get_thread_num();
+    int sense = barrier_.initialSense();
+    for (index_t s = 0; s < steps; ++s) {
+      const size_t g = static_cast<size_t>(s) * static_cast<size_t>(cores) +
+                       static_cast<size_t>(t);
+      const auto lo = static_cast<index_t>(group_ptr_[g]);
+      const auto hi = static_cast<index_t>(group_ptr_[g + 1]);
+      for (index_t i = lo; i < hi; ++i) {
+        computeRow(row_ptr, col_idx, values, b, x, i);
+      }
+      if (sync) barrier_.wait(sense);
+    }
+  }
+}
+
+}  // namespace sts::exec

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "exec/spin_barrier.hpp"
+#include "sparse/csr.hpp"
+
+/// \file bsp.hpp
+/// Barrier-synchronous SpTRSV executor: runs a validated Schedule with one
+/// spin barrier per superstep boundary (the execution model of §2.2).
+/// The per-thread work lists are precomputed at construction so that the
+/// hot solve path touches only flat arrays. Executors are not reentrant:
+/// one solve at a time per instance (the barrier state is shared).
+
+namespace sts::exec {
+
+using core::Schedule;
+using sparse::CsrMatrix;
+using sts::index_t;
+using sts::offset_t;
+
+class BspExecutor {
+ public:
+  /// `lower` must satisfy requireSolvableLower; `schedule` must be a valid
+  /// schedule of the matrix's DAG (validateSchedule) — both are the
+  /// caller's analysis-phase responsibility; the constructor re-checks the
+  /// matrix but not the schedule (O(V·E) validation is opt-in).
+  BspExecutor(const CsrMatrix& lower, const Schedule& schedule);
+
+  /// x = L^{-1} b using `num_threads()` OpenMP threads.
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  /// SpTRSM: X = L^{-1} B, both n x nrhs row-major. The schedule is
+  /// RHS-count agnostic — each vertex simply carries nrhs times the work.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs) const;
+
+  int numThreads() const { return num_threads_; }
+  index_t numSupersteps() const { return num_supersteps_; }
+
+ private:
+  const CsrMatrix& lower_;
+  int num_threads_ = 0;
+  index_t num_supersteps_ = 0;
+  /// Vertices of thread t across all supersteps, superstep-major:
+  /// thread_verts_[t] with boundaries thread_step_ptr_[t][s].
+  std::vector<std::vector<index_t>> thread_verts_;
+  std::vector<std::vector<offset_t>> thread_step_ptr_;
+  mutable SpinBarrier barrier_;
+};
+
+/// Executor for the reordered problem (§5): every (superstep, core) group
+/// is a contiguous row range of the permuted matrix, so the work lists are
+/// just range boundaries — the best-locality configuration.
+class ContiguousBspExecutor {
+ public:
+  ContiguousBspExecutor(const CsrMatrix& permuted_lower,
+                        index_t num_supersteps, int num_cores,
+                        std::vector<offset_t> group_ptr);
+
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  int numThreads() const { return num_threads_; }
+  index_t numSupersteps() const { return num_supersteps_; }
+
+ private:
+  const CsrMatrix& lower_;
+  index_t num_supersteps_ = 0;
+  int num_threads_ = 0;
+  std::vector<offset_t> group_ptr_;
+  mutable SpinBarrier barrier_;
+};
+
+}  // namespace sts::exec

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "dag/dag.hpp"
+#include "sparse/csr.hpp"
+
+/// \file p2p.hpp
+/// Asynchronous point-to-point executor in the style of SpMP [PSSD14]:
+/// no global barriers — each thread walks its own vertex list in level
+/// order and spin-waits only on the cross-thread parents that survive the
+/// approximate transitive reduction. Completion flags are epoch-stamped so
+/// that repeated solves need no O(n) reset.
+
+namespace sts::exec {
+
+using core::Schedule;
+using dag::Dag;
+using sparse::CsrMatrix;
+using sts::index_t;
+using sts::offset_t;
+
+class P2pExecutor {
+ public:
+  /// `schedule` provides the per-thread vertex order (its superstep
+  /// structure is ignored at run time); `sync_dag` lists the dependency
+  /// edges to wait on (typically the transitively reduced DAG; passing the
+  /// full DAG is valid but waits on more edges).
+  P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
+              const Dag& sync_dag);
+
+  /// x = L^{-1} b. Not reentrant: one solve at a time per executor.
+  void solve(std::span<const double> b, std::span<double> x);
+
+  int numThreads() const { return num_threads_; }
+
+  /// Total cross-thread dependencies the executor waits on (diagnostic:
+  /// shows the sparsification effect of the transitive reduction).
+  offset_t numCrossDependencies() const { return cross_deps_; }
+
+ private:
+  const CsrMatrix& lower_;
+  int num_threads_ = 0;
+  offset_t cross_deps_ = 0;
+
+  /// Per-thread vertex execution order.
+  std::vector<std::vector<index_t>> thread_verts_;
+  /// wait_list of vertex v: cross-thread parents in the sync DAG, stored
+  /// flat: wait_adj_[wait_ptr_[v] .. wait_ptr_[v+1]).
+  std::vector<offset_t> wait_ptr_;
+  std::vector<index_t> wait_adj_;
+
+  /// done_[v] == epoch_ means v is computed in the current solve.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> done_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace sts::exec

@@ -1,0 +1,114 @@
+#include "exec/serial.hpp"
+
+#include <stdexcept>
+
+namespace sts::exec {
+
+void requireSolvableLower(const CsrMatrix& lower) {
+  if (lower.rows() != lower.cols()) {
+    throw std::invalid_argument("solve: matrix must be square");
+  }
+  if (!lower.isLowerTriangular()) {
+    throw std::invalid_argument("solve: matrix is not lower triangular");
+  }
+  for (index_t i = 0; i < lower.rows(); ++i) {
+    const auto cols_i = lower.rowCols(i);
+    if (cols_i.empty() || cols_i.back() != i ||
+        lower.rowValues(i).back() == 0.0) {
+      throw std::invalid_argument(
+          "solve: missing or zero diagonal entry at row " + std::to_string(i));
+    }
+  }
+}
+
+void requireSolvableUpper(const CsrMatrix& upper) {
+  if (upper.rows() != upper.cols()) {
+    throw std::invalid_argument("solve: matrix must be square");
+  }
+  if (!upper.isUpperTriangular()) {
+    throw std::invalid_argument("solve: matrix is not upper triangular");
+  }
+  for (index_t i = 0; i < upper.rows(); ++i) {
+    const auto cols_i = upper.rowCols(i);
+    if (cols_i.empty() || cols_i.front() != i ||
+        upper.rowValues(i).front() == 0.0) {
+      throw std::invalid_argument(
+          "solve: missing or zero diagonal entry at row " + std::to_string(i));
+    }
+  }
+}
+
+void solveLowerSerial(const CsrMatrix& lower, std::span<const double> b,
+                      std::span<double> x) {
+  const index_t n = lower.rows();
+  if (static_cast<index_t>(b.size()) != n ||
+      static_cast<index_t>(x.size()) != n) {
+    throw std::invalid_argument("solveLowerSerial: vector size mismatch");
+  }
+  const auto row_ptr = lower.rowPtr();
+  const auto col_idx = lower.colIdx();
+  const auto values = lower.values();
+  for (index_t i = 0; i < n; ++i) {
+    const auto begin = static_cast<size_t>(row_ptr[static_cast<size_t>(i)]);
+    const auto diag = static_cast<size_t>(row_ptr[static_cast<size_t>(i) + 1]) - 1;
+    double acc = b[static_cast<size_t>(i)];
+    for (size_t k = begin; k < diag; ++k) {
+      acc -= values[k] * x[static_cast<size_t>(col_idx[k])];
+    }
+    x[static_cast<size_t>(i)] = acc / values[diag];
+  }
+}
+
+void solveLowerSerialMultiRhs(const CsrMatrix& lower,
+                              std::span<const double> b, std::span<double> x,
+                              index_t nrhs) {
+  const index_t n = lower.rows();
+  if (nrhs <= 0) {
+    throw std::invalid_argument("solveLowerSerialMultiRhs: nrhs must be > 0");
+  }
+  if (b.size() != static_cast<size_t>(n) * static_cast<size_t>(nrhs) ||
+      x.size() != b.size()) {
+    throw std::invalid_argument("solveLowerSerialMultiRhs: size mismatch");
+  }
+  const auto row_ptr = lower.rowPtr();
+  const auto col_idx = lower.colIdx();
+  const auto values = lower.values();
+  const auto r = static_cast<size_t>(nrhs);
+  for (index_t i = 0; i < n; ++i) {
+    const auto begin = static_cast<size_t>(row_ptr[static_cast<size_t>(i)]);
+    const auto diag = static_cast<size_t>(row_ptr[static_cast<size_t>(i) + 1]) - 1;
+    double* xi = x.data() + static_cast<size_t>(i) * r;
+    const double* bi = b.data() + static_cast<size_t>(i) * r;
+    for (size_t c = 0; c < r; ++c) xi[c] = bi[c];
+    for (size_t k = begin; k < diag; ++k) {
+      const double a = values[k];
+      const double* xj = x.data() + static_cast<size_t>(col_idx[k]) * r;
+      for (size_t c = 0; c < r; ++c) xi[c] -= a * xj[c];
+    }
+    const double d = values[diag];
+    for (size_t c = 0; c < r; ++c) xi[c] /= d;
+  }
+}
+
+void solveUpperSerial(const CsrMatrix& upper, std::span<const double> b,
+                      std::span<double> x) {
+  const index_t n = upper.rows();
+  if (static_cast<index_t>(b.size()) != n ||
+      static_cast<index_t>(x.size()) != n) {
+    throw std::invalid_argument("solveUpperSerial: vector size mismatch");
+  }
+  const auto row_ptr = upper.rowPtr();
+  const auto col_idx = upper.colIdx();
+  const auto values = upper.values();
+  for (index_t i = n; i-- > 0;) {
+    const auto diag = static_cast<size_t>(row_ptr[static_cast<size_t>(i)]);
+    const auto end = static_cast<size_t>(row_ptr[static_cast<size_t>(i) + 1]);
+    double acc = b[static_cast<size_t>(i)];
+    for (size_t k = diag + 1; k < end; ++k) {
+      acc -= values[k] * x[static_cast<size_t>(col_idx[k])];
+    }
+    x[static_cast<size_t>(i)] = acc / values[diag];
+  }
+}
+
+}  // namespace sts::exec

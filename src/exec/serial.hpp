@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+
+/// \file serial.hpp
+/// Reference serial forward-/backward-substitution kernels (Eq. 2.1). All
+/// parallel executors in this module compute each row with the same CSR
+/// entry order, so their results are bit-identical to these kernels (only
+/// the *permuted* executor differs, by reordering within rows).
+
+namespace sts::exec {
+
+using sparse::CsrMatrix;
+using sts::index_t;
+
+/// x = L^{-1} b for lower triangular L with a full nonzero diagonal.
+/// Requires the diagonal to be the last entry of each row (guaranteed by
+/// CSR column ordering for a lower triangular matrix).
+/// Throws std::invalid_argument on structural violations.
+void solveLowerSerial(const CsrMatrix& lower, std::span<const double> b,
+                      std::span<double> x);
+
+/// x = U^{-1} b for upper triangular U with a full nonzero diagonal.
+void solveUpperSerial(const CsrMatrix& upper, std::span<const double> b,
+                      std::span<double> x);
+
+/// Multi-RHS forward substitution (SpTRSM): X = L^{-1} B where B and X are
+/// n x nrhs row-major (row i holds the nrhs values of unknown i — the
+/// layout that keeps the per-row kernel streaming).
+void solveLowerSerialMultiRhs(const CsrMatrix& lower,
+                              std::span<const double> b, std::span<double> x,
+                              index_t nrhs);
+
+/// Validates the structural preconditions of the solvers once, so that the
+/// hot path can skip them: square, lower (or upper) triangular, full
+/// diagonal. Throws std::invalid_argument with a description on failure.
+void requireSolvableLower(const CsrMatrix& lower);
+void requireSolvableUpper(const CsrMatrix& upper);
+
+}  // namespace sts::exec

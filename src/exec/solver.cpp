@@ -1,0 +1,184 @@
+#include "exec/solver.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "baselines/bsplist.hpp"
+#include "baselines/hdagg.hpp"
+#include "baselines/wavefront.hpp"
+#include "core/coarsen.hpp"
+#include "exec/serial.hpp"
+#include "sparse/permute.hpp"
+
+namespace sts::exec {
+
+std::string schedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kGrowLocal: return "GrowLocal";
+    case SchedulerKind::kFunnelGrowLocal: return "Funnel+GL";
+    case SchedulerKind::kWavefront: return "Wavefront";
+    case SchedulerKind::kHdagg: return "HDagg";
+    case SchedulerKind::kSpmp: return "SpMP";
+    case SchedulerKind::kBspList: return "BSPg";
+    case SchedulerKind::kSerial: return "Serial";
+  }
+  return "?";
+}
+
+TriangularSolver TriangularSolver::analyze(const CsrMatrix& matrix,
+                                           const SolverOptions& options) {
+  using Clock = std::chrono::high_resolution_clock;
+  if (options.num_threads <= 0) {
+    throw std::invalid_argument("TriangularSolver: num_threads must be > 0");
+  }
+  TriangularSolver solver;
+  solver.n_ = matrix.rows();
+  solver.options_ = options;
+
+  // Normalize to a lower triangular system.
+  if (matrix.isLowerTriangular()) {
+    solver.matrix_ = std::make_shared<const CsrMatrix>(matrix);
+    solver.total_new_to_old_ = sparse::identityPermutation(matrix.rows());
+  } else if (matrix.isUpperTriangular()) {
+    std::vector<index_t> reversal(static_cast<size_t>(matrix.rows()));
+    for (index_t i = 0; i < matrix.rows(); ++i) {
+      reversal[static_cast<size_t>(i)] = matrix.rows() - 1 - i;
+    }
+    solver.matrix_ = std::make_shared<const CsrMatrix>(
+        matrix.symmetricPermuted(reversal));
+    solver.total_new_to_old_ = std::move(reversal);
+    solver.permuted_ = true;
+  } else {
+    throw std::invalid_argument("TriangularSolver: matrix is not triangular");
+  }
+  requireSolvableLower(*solver.matrix_);
+
+  const auto t0 = Clock::now();
+  const dag::Dag dag = dag::Dag::fromLowerTriangular(*solver.matrix_);
+
+  core::GrowLocalOptions gl = options.growlocal;
+  gl.num_cores = options.num_threads;
+
+  std::optional<baselines::SpmpResult> spmp;
+  switch (options.scheduler) {
+    case SchedulerKind::kGrowLocal:
+      if (options.num_schedule_blocks > 1) {
+        core::BlockScheduleOptions block;
+        block.num_blocks = options.num_schedule_blocks;
+        block.growlocal = gl;
+        solver.schedule_ = core::blockGrowLocalSchedule(dag, block);
+      } else {
+        solver.schedule_ = core::growLocalSchedule(dag, gl);
+      }
+      break;
+    case SchedulerKind::kFunnelGrowLocal:
+      solver.schedule_ = core::funnelGrowLocalSchedule(dag, gl);
+      break;
+    case SchedulerKind::kWavefront:
+      solver.schedule_ = baselines::wavefrontSchedule(
+          dag, baselines::WavefrontOptions{.num_cores = options.num_threads});
+      break;
+    case SchedulerKind::kHdagg: {
+      baselines::HdaggOptions ho;
+      ho.num_cores = options.num_threads;
+      solver.schedule_ = baselines::hdaggSchedule(dag, ho);
+      break;
+    }
+    case SchedulerKind::kSpmp: {
+      baselines::SpmpOptions so;
+      so.num_cores = options.num_threads;
+      spmp = baselines::spmpSchedule(dag, so);
+      solver.schedule_ = spmp->schedule;
+      break;
+    }
+    case SchedulerKind::kBspList:
+      solver.schedule_ = baselines::bspListSchedule(
+          dag, baselines::BspListOptions{.num_cores = options.num_threads});
+      break;
+    case SchedulerKind::kSerial:
+      solver.schedule_ = core::Schedule::serial(dag);
+      break;
+  }
+
+  if (options.validate) {
+    const auto validation = core::validateSchedule(dag, solver.schedule_);
+    if (!validation.ok) {
+      throw std::logic_error("TriangularSolver: scheduler produced an "
+                             "invalid schedule: " + validation.message);
+    }
+  }
+
+  const bool reorder = options.reorder &&
+                       options.scheduler != SchedulerKind::kSpmp &&
+                       options.scheduler != SchedulerKind::kSerial;
+  if (reorder) {
+    core::ReorderedProblem problem =
+        core::reorderForLocality(*solver.matrix_, solver.schedule_);
+    solver.total_new_to_old_ = sparse::composePermutations(
+        solver.total_new_to_old_, problem.new_to_old);
+    solver.permuted_ = true;
+    solver.matrix_ =
+        std::make_shared<const CsrMatrix>(std::move(problem.matrix));
+    solver.contiguous_ = std::make_unique<ContiguousBspExecutor>(
+        *solver.matrix_, problem.num_supersteps, problem.num_cores,
+        std::move(problem.group_ptr));
+  } else if (options.scheduler == SchedulerKind::kSpmp) {
+    solver.p2p_ = std::make_unique<P2pExecutor>(
+        *solver.matrix_, solver.schedule_, spmp->reduced_dag);
+  } else {
+    solver.bsp_ =
+        std::make_unique<BspExecutor>(*solver.matrix_, solver.schedule_);
+  }
+  solver.analysis_seconds_ =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  solver.stats_ = core::computeScheduleStats(dag, solver.schedule_,
+                                             gl.sync_cost_l);
+
+  if (solver.permuted_) {
+    solver.b_scratch_.resize(static_cast<size_t>(solver.n_));
+    solver.x_scratch_.resize(static_cast<size_t>(solver.n_));
+  }
+  return solver;
+}
+
+void TriangularSolver::solve(std::span<const double> b, std::span<double> x) {
+  if (static_cast<index_t>(b.size()) != n_ ||
+      static_cast<index_t>(x.size()) != n_) {
+    throw std::invalid_argument("TriangularSolver::solve: size mismatch");
+  }
+  std::span<const double> b_in = b;
+  std::span<double> x_out = x;
+  if (permuted_) {
+    for (index_t i = 0; i < n_; ++i) {
+      b_scratch_[static_cast<size_t>(i)] =
+          b[static_cast<size_t>(total_new_to_old_[static_cast<size_t>(i)])];
+    }
+    b_in = b_scratch_;
+    x_out = x_scratch_;
+  }
+  solvePermuted(b_in, x_out);
+  if (permuted_) {
+    for (index_t i = 0; i < n_; ++i) {
+      x[static_cast<size_t>(total_new_to_old_[static_cast<size_t>(i)])] =
+          x_scratch_[static_cast<size_t>(i)];
+    }
+  }
+}
+
+void TriangularSolver::solvePermuted(std::span<const double> b,
+                                     std::span<double> x) {
+  if (static_cast<index_t>(b.size()) != n_ ||
+      static_cast<index_t>(x.size()) != n_) {
+    throw std::invalid_argument(
+        "TriangularSolver::solvePermuted: size mismatch");
+  }
+  if (contiguous_) {
+    contiguous_->solve(b, x);
+  } else if (p2p_) {
+    p2p_->solve(b, x);
+  } else {
+    bsp_->solve(b, x);
+  }
+}
+
+}  // namespace sts::exec

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "baselines/spmp.hpp"
+#include "core/block.hpp"
+#include "core/growlocal.hpp"
+#include "core/reorder.hpp"
+#include "core/schedule.hpp"
+#include "exec/bsp.hpp"
+#include "exec/p2p.hpp"
+#include "sparse/csr.hpp"
+
+/// \file solver.hpp
+/// The downstream-user facade: analyze a triangular matrix once, then solve
+/// with the same sparsity pattern many times (the SpTRSV use case the paper
+/// targets — preconditioner applications, Gauss–Seidel sweeps, repeated
+/// FEM solves, §1).
+///
+///   auto solver = sts::exec::TriangularSolver::analyze(L, options);
+///   solver.solve(b, x);   // fast path, repeatable
+///
+/// Upper triangular inputs are normalized internally by the reversal
+/// permutation (backward substitution is forward substitution on the
+/// reversed system).
+
+namespace sts::exec {
+
+using core::Schedule;
+using sparse::CsrMatrix;
+using sts::index_t;
+
+/// Which scheduling algorithm the analysis phase runs.
+enum class SchedulerKind {
+  kGrowLocal,        ///< the paper's contribution (§3)
+  kFunnelGrowLocal,  ///< Funnel coarsening + GrowLocal (§4, §7.3)
+  kWavefront,        ///< classic level sets [AS89]
+  kHdagg,            ///< HDagg baseline [ZCL+22]
+  kSpmp,             ///< SpMP baseline [PSSD14]; executes asynchronously
+  kBspList,          ///< BSPg-style list scheduler [PAKY24]
+  kSerial,           ///< no parallelism; reference configuration
+};
+
+std::string schedulerKindName(SchedulerKind kind);
+
+struct SolverOptions {
+  SchedulerKind scheduler = SchedulerKind::kGrowLocal;
+  int num_threads = 2;
+  /// Apply the §5 locality reordering (recommended; GrowLocal's headline
+  /// configuration). Ignored for kSpmp (which relies on the original
+  /// ordering) and kSerial.
+  bool reorder = true;
+  /// Diagonal blocks scheduled in parallel during analysis (§3.1); 1
+  /// disables block decomposition. Only applies to GrowLocal variants.
+  int num_schedule_blocks = 1;
+  core::GrowLocalOptions growlocal;
+  /// Validate the schedule during analysis (O(V+E); cheap insurance).
+  bool validate = true;
+};
+
+class TriangularSolver {
+ public:
+  /// Runs the analysis phase: normalize to lower triangular, build the DAG,
+  /// schedule, (optionally) reorder, and construct the executor.
+  /// Throws std::invalid_argument for non-triangular or singular-diagonal
+  /// inputs.
+  static TriangularSolver analyze(const CsrMatrix& matrix,
+                                  const SolverOptions& options = {});
+
+  /// x = T^{-1} b in the ORIGINAL row ordering (permutations are internal).
+  /// Not reentrant: one solve per instance at a time.
+  void solve(std::span<const double> b, std::span<double> x);
+
+  /// Solve with b and x in the solver's INTERNAL (schedule-permuted) row
+  /// order: position i corresponds to original row permutation()[i].
+  /// Workflows that keep their vectors in permuted space across many solves
+  /// — as the paper's evaluation does (§5: "execute the SpTRSV computation
+  /// on the permuted problem") — avoid the two O(n) vector permutations
+  /// per solve() this way. Identical to solve() when no permutation was
+  /// applied.
+  void solvePermuted(std::span<const double> b, std::span<double> x);
+
+  /// new_to_old map of the internal order (identity when not permuted).
+  std::span<const index_t> permutation() const { return total_new_to_old_; }
+  bool isPermuted() const { return permuted_; }
+
+  index_t numRows() const { return n_; }
+  const SolverOptions& options() const { return options_; }
+  const Schedule& schedule() const { return schedule_; }
+  const core::ScheduleStats& stats() const { return stats_; }
+  /// Wall-clock seconds spent in analyze() (scheduling + reordering);
+  /// feeds the amortization-threshold experiments (Eq. 7.1).
+  double analysisSeconds() const { return analysis_seconds_; }
+
+ private:
+  TriangularSolver() = default;
+
+  index_t n_ = 0;
+  SolverOptions options_;
+  Schedule schedule_;
+  core::ScheduleStats stats_;
+  double analysis_seconds_ = 0.0;
+
+  /// Normalization: x solves the original system iff the permuted solve
+  /// runs on *matrix_ with b permuted by total_new_to_old_.
+  bool permuted_ = false;
+  std::vector<index_t> total_new_to_old_;
+  /// Heap-allocated so executor references stay valid across solver moves.
+  std::shared_ptr<const CsrMatrix> matrix_;
+
+  std::unique_ptr<BspExecutor> bsp_;
+  std::unique_ptr<ContiguousBspExecutor> contiguous_;
+  std::unique_ptr<P2pExecutor> p2p_;
+
+  // Scratch for permuted solves.
+  std::vector<double> b_scratch_;
+  std::vector<double> x_scratch_;
+};
+
+}  // namespace sts::exec

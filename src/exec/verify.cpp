@@ -1,0 +1,50 @@
+#include "exec/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace sts::exec {
+
+double residualInf(const CsrMatrix& a, std::span<const double> x,
+                   std::span<const double> b) {
+  const std::vector<double> ax = a.multiply(x);
+  if (ax.size() != b.size()) {
+    throw std::invalid_argument("residualInf: size mismatch");
+  }
+  double r = 0.0;
+  for (size_t i = 0; i < ax.size(); ++i) {
+    r = std::max(r, std::abs(ax[i] - b[i]));
+  }
+  return r;
+}
+
+double maxAbsDiff(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("maxAbsDiff: size mismatch");
+  }
+  double d = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    d = std::max(d, std::abs(x[i] - y[i]));
+  }
+  return d;
+}
+
+double relMaxAbsDiff(std::span<const double> x, std::span<const double> y) {
+  double norm = 1.0;
+  for (const double v : y) norm = std::max(norm, std::abs(v));
+  return maxAbsDiff(x, y) / norm;
+}
+
+std::vector<double> referenceSolution(sts::index_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0.1, 1.0);
+  std::vector<double> x(static_cast<size_t>(n));
+  for (auto& v : x) {
+    v = dist(rng) * ((rng() & 1) ? 1.0 : -1.0);
+  }
+  return x;
+}
+
+}  // namespace sts::exec

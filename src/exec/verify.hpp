@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+/// \file verify.hpp
+/// Numerical verification helpers used by tests, examples and the
+/// benchmark harness: residual and error norms for solve results.
+
+namespace sts::exec {
+
+using sparse::CsrMatrix;
+
+/// ||A x - b||_inf.
+double residualInf(const CsrMatrix& a, std::span<const double> x,
+                   std::span<const double> b);
+
+/// ||x - y||_inf.
+double maxAbsDiff(std::span<const double> x, std::span<const double> y);
+
+/// ||x - y||_inf / max(1, ||y||_inf): scale-aware comparison.
+double relMaxAbsDiff(std::span<const double> x, std::span<const double> y);
+
+/// Deterministic "interesting" solution vector (mixed signs/magnitudes)
+/// for roundtrip tests: x_i in [-1, 1], never 0.
+std::vector<double> referenceSolution(sts::index_t n, std::uint64_t seed);
+
+}  // namespace sts::exec

@@ -1,0 +1,158 @@
+#include "harness/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "dag/dag.hpp"
+#include "dag/wavefronts.hpp"
+#include "datagen/grids.hpp"
+#include "datagen/random_matrices.hpp"
+#include "sparse/ic0.hpp"
+#include "sparse/ordering.hpp"
+
+namespace sts::harness {
+
+namespace {
+
+double envDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return (end != value && parsed > 0.0) ? parsed : fallback;
+}
+
+index_t scaled(index_t base, double scale) {
+  return std::max<index_t>(4, static_cast<index_t>(
+                                  std::lround(base * scale)));
+}
+
+/// The full symmetric SPD matrices behind the SuiteSparse stand-in; shared
+/// by the natural / METIS / iChol variants so the three data sets differ
+/// exactly as in the paper (only by preprocessing).
+std::vector<std::pair<std::string, CsrMatrix>> spdFamily(double scale) {
+  using namespace datagen;
+  const double lin2 = std::sqrt(scale);  // 2D side scaling
+  const double lin3 = std::cbrt(scale);  // 3D side scaling
+  // Sizes chosen so that solve times clearly dominate per-solve parallel
+  // runtime overhead (the paper's matrices are 80k-4M rows; barrier and
+  // OpenMP-region costs are fixed, so matrices must not be tiny).
+  std::vector<std::pair<std::string, CsrMatrix>> family;
+  family.emplace_back("grid2d_5pt",
+                      grid2dLaplacian5(scaled(280, lin2), scaled(280, lin2)));
+  family.emplace_back("grid2d_9pt",
+                      grid2dLaplacian9(scaled(200, lin2), scaled(200, lin2)));
+  family.emplace_back("grid3d_7pt",
+                      grid3dLaplacian7(scaled(42, lin3), scaled(42, lin3),
+                                       scaled(42, lin3)));
+  family.emplace_back("grid3d_27pt",
+                      grid3dLaplacian27(scaled(30, lin3), scaled(30, lin3),
+                                        scaled(30, lin3)));
+  family.emplace_back("aniso_2d",
+                      grid2dAnisotropic(scaled(320, lin2), scaled(160, lin2),
+                                        0.1));
+  // Sparse wide band: average wavefront comfortably above the paper's
+  // >= 2x cores admission filter (§6.2.1), unlike a dense narrow band.
+  family.emplace_back("banded_spd",
+                      bandedSpd(scaled(60000, scale), 48, 0.05, 1001));
+  return family;
+}
+
+}  // namespace
+
+double benchScale() {
+  return std::clamp(envDouble("STS_BENCH_SCALE", 1.0), 0.05, 10.0);
+}
+
+int benchReps() {
+  return static_cast<int>(
+      std::clamp(envDouble("STS_BENCH_REPS", 30.0), 3.0, 1000.0));
+}
+
+Dataset suiteSparseStandin(double scale) {
+  Dataset set;
+  for (auto& [name, spd] : spdFamily(scale)) {
+    set.push_back({name, spd.lowerTriangle()});
+  }
+  return set;
+}
+
+Dataset metisStandin(double scale) {
+  Dataset set;
+  for (auto& [name, spd] : spdFamily(scale)) {
+    const auto nd = sparse::nestedDissection(spd);
+    set.push_back({name + "_nd", spd.symmetricPermuted(nd).lowerTriangle()});
+  }
+  return set;
+}
+
+Dataset icholStandin(double scale) {
+  Dataset set;
+  for (auto& [name, spd] : spdFamily(scale)) {
+    // RCM stands in for Eigen's AMDOrdering fill-reducing preprocessing.
+    const auto rcm = sparse::reverseCuthillMcKee(spd);
+    const auto permuted = spd.symmetricPermuted(rcm);
+    set.push_back({name + "_ic0", sparse::incompleteCholesky(permuted).lower});
+  }
+  return set;
+}
+
+Dataset erdosRenyiSet(double scale) {
+  using namespace datagen;
+  // The paper uses N = 100k with p in {1e-4, 5e-4, 2e-3}; the expected
+  // off-diagonal row degree p*N/2 in {5, 25, 100} is preserved here at the
+  // scaled N so the DAG shape class is unchanged.
+  const index_t n = scaled(40000, scale);
+  const double nd = static_cast<double>(n);
+  Dataset set;
+  int tag = 0;
+  for (const double degree : {5.0, 25.0, 100.0}) {
+    const double p = std::min(1.0, 2.0 * degree / nd);
+    for (const std::uint64_t seed : {11u, 12u}) {
+      set.push_back(
+          {"er_d" + std::to_string(static_cast<int>(degree)) + "_" +
+               static_cast<char>('A' + (tag % 2)),
+           erdosRenyiLower({.n = n, .p = p, .seed = seed})});
+      ++tag;
+    }
+  }
+  return set;
+}
+
+Dataset narrowBandSet(double scale) {
+  using namespace datagen;
+  const index_t n = scaled(40000, scale);
+  Dataset set;
+  const std::pair<double, double> params[] = {
+      {0.14, 10.0}, {0.05, 20.0}, {0.03, 42.0}};  // the paper's (p, B)
+  for (const auto& [p, b] : params) {
+    int tag = 0;
+    for (const std::uint64_t seed : {21u, 22u}) {
+      set.push_back({"nb_p" + std::to_string(static_cast<int>(p * 100)) +
+                         "_b" + std::to_string(static_cast<int>(b)) + "_" +
+                         static_cast<char>('A' + tag),
+                     narrowBandLower({.n = n, .p = p, .b = b, .seed = seed})});
+      ++tag;
+    }
+  }
+  return set;
+}
+
+std::vector<std::pair<std::string, Dataset>> allDatasets(double scale) {
+  std::vector<std::pair<std::string, Dataset>> all;
+  all.emplace_back("SuiteSparse*", suiteSparseStandin(scale));
+  all.emplace_back("METIS*", metisStandin(scale));
+  all.emplace_back("iChol*", icholStandin(scale));
+  all.emplace_back("Erdos-Renyi", erdosRenyiSet(scale));
+  all.emplace_back("Narrow bandw.", narrowBandSet(scale));
+  return all;
+}
+
+double averageWavefrontSize(const CsrMatrix& lower) {
+  const auto dag = dag::Dag::fromLowerTriangular(lower);
+  const auto wf = dag::computeWavefronts(dag);
+  return wf.averageWavefrontSize();
+}
+
+}  // namespace sts::harness

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+/// \file datasets.hpp
+/// The five data-set families of §6.2, sized for a laptop-class host (see
+/// DESIGN.md substitutions for how the SuiteSparse-based families are
+/// replaced by synthetic equivalents):
+///
+///   suiteSparseStandin  — grid Laplacians + banded SPD (§6.2.1 stand-in)
+///   metisStandin        — same matrices, nested-dissection-permuted (§6.2.2)
+///   icholStandin        — RCM-ordered IC(0) factors of the same (§6.2.3)
+///   erdosRenyiSet       — the paper's own generator (§6.2.4)
+///   narrowBandSet       — the paper's own generator (§6.2.5)
+///
+/// All entries are lower triangular SpTRSV instances. Sizes scale with
+/// STS_BENCH_SCALE (default 1.0; e.g. 0.25 for smoke runs).
+
+namespace sts::harness {
+
+using sparse::CsrMatrix;
+using sts::index_t;
+
+struct DatasetEntry {
+  std::string name;
+  CsrMatrix lower;
+};
+
+using Dataset = std::vector<DatasetEntry>;
+
+/// Scale factor from the STS_BENCH_SCALE environment variable (clamped to
+/// [0.05, 10]); linear dimensions scale by sqrt/cbrt so that vertex counts
+/// scale roughly linearly.
+double benchScale();
+
+/// Repetitions for timed solves from STS_BENCH_REPS (default 50).
+int benchReps();
+
+Dataset suiteSparseStandin(double scale = benchScale());
+Dataset metisStandin(double scale = benchScale());
+Dataset icholStandin(double scale = benchScale());
+Dataset erdosRenyiSet(double scale = benchScale());
+Dataset narrowBandSet(double scale = benchScale());
+
+/// All five families in §6.2 order with their display names.
+std::vector<std::pair<std::string, Dataset>> allDatasets(
+    double scale = benchScale());
+
+/// n / #wavefronts of the DAG of `lower` (§6.2's parallelizability metric).
+double averageWavefrontSize(const CsrMatrix& lower);
+
+}  // namespace sts::harness

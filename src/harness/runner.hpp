@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/solver.hpp"
+#include "harness/datasets.hpp"
+
+/// \file runner.hpp
+/// The measurement core shared by all bench binaries. Reproduces the
+/// paper's methodology (§6.1): a "hot" system (warm-up runs precede timed
+/// ones), one hundred timed single-SpTRSV executions with the right-hand
+/// side reset between runs, median per-solve time, geometric-mean
+/// aggregation across matrices.
+
+namespace sts::harness {
+
+using exec::SchedulerKind;
+
+struct MeasureOptions {
+  int num_threads = 2;
+  int warmup = 2;
+  int reps = benchReps();
+  bool reorder = true;
+  int num_schedule_blocks = 1;
+};
+
+struct SolveMeasurement {
+  std::string matrix;
+  std::string scheduler;
+  double serial_seconds = 0.0;    ///< median serial solve time
+  double parallel_seconds = 0.0;  ///< median scheduled solve time
+  double speedup = 0.0;           ///< serial / parallel
+  double schedule_seconds = 0.0;  ///< analysis time (scheduling + reorder)
+  double amortization = 0.0;      ///< Eq. 7.1
+  double gflops = 0.0;            ///< (2 nnz - n) / parallel time
+  sts::index_t supersteps = 0;
+  sts::index_t wavefronts = 0;
+  double wavefront_reduction = 0.0;  ///< wavefronts / supersteps
+};
+
+/// Median time of `reps` single executions of `fn` after `warmup` untimed
+/// runs (chrono high-resolution clock, §6.1).
+double medianSeconds(const std::function<void()>& fn, int warmup, int reps);
+
+/// Times the serial reference kernel on `lower` (b = ones, §6.1).
+double measureSerial(const CsrMatrix& lower, const MeasureOptions& opts);
+
+/// Full measurement of one (matrix, scheduler) pair. `serial_seconds` can
+/// be passed in to share the baseline across schedulers; <= 0 re-measures.
+SolveMeasurement measureSolver(const std::string& matrix_name,
+                               const CsrMatrix& lower, SchedulerKind kind,
+                               const MeasureOptions& opts,
+                               double serial_seconds = -1.0);
+
+/// Geometric mean of a field over measurements.
+double geomeanSpeedup(const std::vector<SolveMeasurement>& ms);
+double geomeanWavefrontReduction(const std::vector<SolveMeasurement>& ms);
+
+}  // namespace sts::harness

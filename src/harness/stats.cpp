@@ -1,0 +1,92 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace sts::harness {
+
+double geometricMean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) {
+    if (v <= 0.0) {
+      throw std::invalid_argument("geometricMean: values must be positive");
+    }
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) {
+    throw std::invalid_argument("quantile: empty input");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q out of [0, 1]");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(pos));
+  const auto hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Quartiles quartiles(std::span<const double> values) {
+  return Quartiles{quantile(values, 0.25), quantile(values, 0.5),
+                   quantile(values, 0.75)};
+}
+
+std::vector<ProfileCurve> performanceProfiles(
+    std::span<const std::string> names,
+    const std::vector<std::vector<double>>& times,
+    std::span<const double> tau_grid) {
+  if (names.size() != times.size()) {
+    throw std::invalid_argument("performanceProfiles: names/times mismatch");
+  }
+  if (times.empty() || times.front().empty()) return {};
+  const size_t num_matrices = times.front().size();
+  for (const auto& row : times) {
+    if (row.size() != num_matrices) {
+      throw std::invalid_argument("performanceProfiles: ragged time matrix");
+    }
+  }
+  // best[m] = fastest algorithm on matrix m.
+  std::vector<double> best(num_matrices,
+                           std::numeric_limits<double>::infinity());
+  for (const auto& row : times) {
+    for (size_t m = 0; m < num_matrices; ++m) {
+      best[m] = std::min(best[m], row[m]);
+    }
+  }
+  std::vector<ProfileCurve> curves;
+  curves.reserve(names.size());
+  for (size_t a = 0; a < names.size(); ++a) {
+    ProfileCurve curve;
+    curve.name = names[a];
+    curve.fraction.reserve(tau_grid.size());
+    for (const double tau : tau_grid) {
+      size_t within = 0;
+      for (size_t m = 0; m < num_matrices; ++m) {
+        if (times[a][m] <= tau * best[m]) ++within;
+      }
+      curve.fraction.push_back(static_cast<double>(within) /
+                               static_cast<double>(num_matrices));
+    }
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
+double amortizationThreshold(double schedule_seconds, double serial_seconds,
+                             double parallel_seconds) {
+  const double gain = serial_seconds - parallel_seconds;
+  if (gain <= 0.0) return std::numeric_limits<double>::infinity();
+  return schedule_seconds / gain;
+}
+
+}  // namespace sts::harness

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+/// \file stats.hpp
+/// Statistics used throughout the evaluation: geometric means (the paper's
+/// aggregate of choice), quartiles (Table 7.6, Fig 1.2) and Dolan–Moré
+/// performance profiles (Fig 7.1).
+
+namespace sts::harness {
+
+/// exp(mean(log x)); requires all values > 0. Returns 0 for empty input.
+double geometricMean(std::span<const double> values);
+
+/// Linear-interpolation quantile, q in [0, 1]. Input need not be sorted.
+double quantile(std::span<const double> values, double q);
+
+struct Quartiles {
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+};
+Quartiles quartiles(std::span<const double> values);
+
+/// One algorithm's performance-profile curve (Dolan–Moré 2002).
+struct ProfileCurve {
+  std::string name;
+  std::vector<double> fraction;  ///< aligned with the shared tau grid
+};
+
+/// Builds performance profiles from a time matrix: times[a][m] = time of
+/// algorithm a on matrix m (must be > 0). Returns one curve per algorithm
+/// over the tau grid; fraction[t] = share of matrices where
+/// times[a][m] <= tau * min_a' times[a'][m].
+std::vector<ProfileCurve> performanceProfiles(
+    std::span<const std::string> names,
+    const std::vector<std::vector<double>>& times,
+    std::span<const double> tau_grid);
+
+/// The amortization threshold of Eq. 7.1: how many solves pay for the
+/// scheduling time. +inf when the parallel solve is not faster.
+double amortizationThreshold(double schedule_seconds, double serial_seconds,
+                             double parallel_seconds);
+
+}  // namespace sts::harness

@@ -1,0 +1,65 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sts::harness {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table::addRow: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+bool looksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != s.c_str() && (*end == '\0' || *end == 'x' || *end == '%');
+}
+
+}  // namespace
+
+void Table::print(std::ostream& out) const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto printRow = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      if (looksNumeric(row[c]) && c > 0) {
+        out << std::setw(static_cast<int>(width[c])) << std::right << row[c];
+      } else {
+        out << std::setw(static_cast<int>(width[c])) << std::left << row[c];
+      }
+    }
+    out << "\n";
+  };
+  printRow(header_);
+  size_t total = 0;
+  for (const size_t w : width) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) printRow(row);
+}
+
+std::string Table::fmt(double value, int precision) {
+  if (std::isinf(value)) return "inf";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace sts::harness

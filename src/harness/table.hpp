@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Column-aligned ASCII tables: every bench binary prints its results in
+/// the same row/column layout as the paper's tables.
+
+namespace sts::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Renders with column alignment, a header underline, and right-aligned
+  /// numeric-looking cells.
+  void print(std::ostream& out) const;
+
+  static std::string fmt(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sts::harness

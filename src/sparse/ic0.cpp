@@ -1,0 +1,100 @@
+#include "sparse/ic0.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sts::sparse {
+
+namespace {
+
+/// One factorization attempt on the pattern of `tril`; returns false on
+/// breakdown (non-positive pivot). `values` holds the result on success.
+bool tryFactor(const CsrMatrix& tril, double diag_scale,
+               std::vector<double>& values) {
+  const index_t n = tril.rows();
+  const auto row_ptr = tril.rowPtr();
+  const auto col_idx = tril.colIdx();
+  const auto a_values = tril.values();
+  values.assign(a_values.begin(), a_values.end());
+
+  // diag_pos[i] = offset of the (i, i) entry == last entry of row i.
+  std::vector<offset_t> diag_pos(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const offset_t last = row_ptr[static_cast<size_t>(i) + 1] - 1;
+    if (last < row_ptr[static_cast<size_t>(i)] ||
+        col_idx[static_cast<size_t>(last)] != i) {
+      throw std::invalid_argument("incompleteCholesky: missing diagonal entry");
+    }
+    diag_pos[static_cast<size_t>(i)] = last;
+    values[static_cast<size_t>(last)] *= diag_scale;
+  }
+
+  // Up-looking IC(0): for each row i, update the L(i, j) entries in place.
+  for (index_t i = 0; i < n; ++i) {
+    const offset_t begin = row_ptr[static_cast<size_t>(i)];
+    const offset_t diag = diag_pos[static_cast<size_t>(i)];
+    for (offset_t k = begin; k < diag; ++k) {
+      const index_t j = col_idx[static_cast<size_t>(k)];
+      // dot = sum over common columns c < j of L(i,c) * L(j,c)
+      double dot = 0.0;
+      offset_t pi = begin;
+      offset_t pj = row_ptr[static_cast<size_t>(j)];
+      const offset_t ji_end = k;                          // row i, cols < j
+      const offset_t jj_end = diag_pos[static_cast<size_t>(j)];  // row j, cols < j
+      while (pi < ji_end && pj < jj_end) {
+        const index_t ci = col_idx[static_cast<size_t>(pi)];
+        const index_t cj = col_idx[static_cast<size_t>(pj)];
+        if (ci == cj) {
+          dot += values[static_cast<size_t>(pi)] * values[static_cast<size_t>(pj)];
+          ++pi;
+          ++pj;
+        } else if (ci < cj) {
+          ++pi;
+        } else {
+          ++pj;
+        }
+      }
+      const double ljj =
+          values[static_cast<size_t>(diag_pos[static_cast<size_t>(j)])];
+      values[static_cast<size_t>(k)] =
+          (values[static_cast<size_t>(k)] - dot) / ljj;
+    }
+    double pivot = values[static_cast<size_t>(diag)];
+    for (offset_t k = begin; k < diag; ++k) {
+      pivot -= values[static_cast<size_t>(k)] * values[static_cast<size_t>(k)];
+    }
+    if (!(pivot > 0.0) || !std::isfinite(pivot)) return false;
+    values[static_cast<size_t>(diag)] = std::sqrt(pivot);
+  }
+  return true;
+}
+
+}  // namespace
+
+Ic0Result incompleteCholesky(const CsrMatrix& a, const Ic0Options& opts) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("incompleteCholesky: matrix must be square");
+  }
+  const CsrMatrix tril = a.lowerTriangle(/*include_diagonal=*/true);
+
+  std::vector<double> values;
+  double shift = 0.0;
+  for (int retry = 0; retry <= opts.max_retries; ++retry) {
+    if (tryFactor(tril, 1.0 + shift, values)) {
+      return Ic0Result{
+          CsrMatrix(tril.rows(), tril.cols(),
+                    std::vector<offset_t>(tril.rowPtr().begin(),
+                                          tril.rowPtr().end()),
+                    std::vector<index_t>(tril.colIdx().begin(),
+                                         tril.colIdx().end()),
+                    std::move(values)),
+          shift, retry};
+    }
+    shift = (shift == 0.0) ? opts.initial_shift : shift * 2.0;
+  }
+  throw std::runtime_error(
+      "incompleteCholesky: persistent breakdown; input is likely far from "
+      "positive definite");
+}
+
+}  // namespace sts::sparse

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "sparse/csr.hpp"
+
+/// \file ic0.hpp
+/// Zero-fill-in incomplete Cholesky factorization. Produces the lower
+/// triangular factors that make up the paper's "iChol" data set (§6.2.3);
+/// stands in for Eigen's IncompleteCholesky (see DESIGN.md substitutions).
+
+namespace sts::sparse {
+
+struct Ic0Options {
+  /// When a pivot becomes non-positive the factorization is restarted with
+  /// the diagonal scaled by (1 + shift); shift doubles on every retry.
+  double initial_shift = 1e-3;
+  /// Give up after this many shifted restarts.
+  int max_retries = 20;
+};
+
+struct Ic0Result {
+  CsrMatrix lower;      ///< L with the sparsity pattern of tril(A), diag included
+  double applied_shift; ///< 0.0 if no breakdown recovery was needed
+  int retries;          ///< number of restarts performed
+};
+
+/// Computes L such that L*L^T approximates A on the pattern of tril(A).
+/// `a` must be square, structurally symmetric in its lower triangle usage
+/// (only tril(A) is read) and have a full diagonal.
+/// Throws std::invalid_argument on structural violations and
+/// std::runtime_error if breakdown persists past max_retries.
+Ic0Result incompleteCholesky(const CsrMatrix& a, const Ic0Options& opts = {});
+
+}  // namespace sts::sparse

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+/// \file mm_io.hpp
+/// Matrix Market coordinate-format I/O. SuiteSparse matrices ship in this
+/// format; with these routines real collection matrices can be dropped into
+/// the benchmark harness offline (see README "Using real SuiteSparse
+/// matrices").
+///
+/// Supported on read: `matrix coordinate {real|integer|pattern}
+/// {general|symmetric}`; pattern entries get value 1.0; symmetric inputs are
+/// mirrored (diagonal not duplicated).
+
+namespace sts::sparse {
+
+/// Parsed Matrix Market header + entries prior to CSR assembly.
+struct MatrixMarketData {
+  index_t rows = 0;
+  index_t cols = 0;
+  bool symmetric = false;
+  bool pattern = false;
+  std::vector<Triplet> entries;  ///< already mirrored if symmetric
+};
+
+/// Reads from a stream. Throws std::runtime_error with a line number on any
+/// format violation.
+MatrixMarketData readMatrixMarket(std::istream& in);
+
+/// Reads a file; throws std::runtime_error if it cannot be opened.
+MatrixMarketData readMatrixMarketFile(const std::string& path);
+
+/// Convenience: read + assemble.
+CsrMatrix readCsrFromMatrixMarketFile(const std::string& path);
+
+/// Writes `m` as `matrix coordinate real general` with 17 significant
+/// digits (lossless double round-trip).
+void writeMatrixMarket(std::ostream& out, const CsrMatrix& m);
+void writeMatrixMarketFile(const std::string& path, const CsrMatrix& m);
+
+}  // namespace sts::sparse

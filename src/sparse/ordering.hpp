@@ -1,0 +1,65 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+/// \file ordering.hpp
+/// Symmetric matrix reorderings used to build the paper's preprocessed data
+/// sets: reverse Cuthill–McKee (bandwidth reduction, used before IC(0) as
+/// the AMD stand-in) and BFS-separator nested dissection (the stand-in for
+/// METIS_NodeND in the "METIS" data set, §6.2.2). All functions return a
+/// `new_to_old` permutation (see permute.hpp for the convention).
+
+namespace sts::sparse {
+
+/// Undirected adjacency (CSR-like, symmetrized, diagonal dropped) of a
+/// square matrix pattern. The scaffolding for every ordering algorithm.
+struct AdjacencyGraph {
+  index_t n = 0;
+  std::vector<offset_t> ptr = {0};
+  std::vector<index_t> adj;
+
+  std::span<const index_t> neighbors(index_t v) const {
+    return std::span<const index_t>(adj).subspan(
+        static_cast<size_t>(ptr[static_cast<size_t>(v)]),
+        static_cast<size_t>(ptr[static_cast<size_t>(v) + 1] -
+                            ptr[static_cast<size_t>(v)]));
+  }
+  index_t degree(index_t v) const {
+    return static_cast<index_t>(ptr[static_cast<size_t>(v) + 1] -
+                                ptr[static_cast<size_t>(v)]);
+  }
+
+  static AdjacencyGraph fromMatrixPattern(const CsrMatrix& a);
+};
+
+/// Reverse Cuthill–McKee ordering. Handles disconnected graphs (each
+/// component is ordered from a pseudo-peripheral start vertex).
+std::vector<index_t> reverseCuthillMcKee(const AdjacencyGraph& g);
+std::vector<index_t> reverseCuthillMcKee(const CsrMatrix& a);
+
+struct NestedDissectionOptions {
+  /// Subgraphs at or below this size are ordered with RCM instead of being
+  /// split further.
+  index_t leaf_size = 64;
+};
+
+/// BFS-separator nested dissection: recursively bisect via the median BFS
+/// level, number the two halves first and the separator last. Produces the
+/// scattered-locality orderings characteristic of METIS_NodeND.
+std::vector<index_t> nestedDissection(const AdjacencyGraph& g,
+                                      const NestedDissectionOptions& opts = {});
+std::vector<index_t> nestedDissection(const CsrMatrix& a,
+                                      const NestedDissectionOptions& opts = {});
+
+/// Deterministic pseudo-random ordering (Fisher–Yates with a fixed seed).
+/// Used in tests and as a worst-case-locality baseline.
+std::vector<index_t> randomOrdering(index_t n, std::uint64_t seed);
+
+/// Bandwidth of the pattern: max |i - j| over stored entries.
+index_t matrixBandwidth(const CsrMatrix& a);
+
+}  // namespace sts::sparse

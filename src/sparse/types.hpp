@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file types.hpp
+/// Fundamental index and entry types shared across the whole library.
+
+namespace sts {
+
+/// Row/column/vertex index. 32-bit: the library targets matrices up to a few
+/// million rows (laptop-scale SpTRSV), where 32-bit indices halve the memory
+/// traffic of every structural array.
+using index_t = std::int32_t;
+
+/// Offset into a nonzero array (CSR row pointers, adjacency pointers).
+/// 64-bit so that nnz counts never overflow even for dense-ish inputs.
+using offset_t = std::int64_t;
+
+/// A single (row, col, value) matrix entry used by builders and I/O.
+struct Triplet {
+  index_t row = 0;
+  index_t col = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+}  // namespace sts

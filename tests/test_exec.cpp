@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "baselines/spmp.hpp"
+#include "baselines/wavefront.hpp"
+#include "core/growlocal.hpp"
+#include "core/reorder.hpp"
+#include "dag/dag.hpp"
+#include "exec/bsp.hpp"
+#include "exec/p2p.hpp"
+#include "exec/serial.hpp"
+#include "exec/verify.hpp"
+#include "datagen/random_matrices.hpp"
+#include "sparse/permute.hpp"
+#include "test_util.hpp"
+
+namespace sts::exec {
+namespace {
+
+using core::Schedule;
+using dag::Dag;
+using sparse::CsrMatrix;
+
+std::vector<double> rhsFor(const CsrMatrix& lower,
+                           const std::vector<double>& x_true) {
+  return lower.multiply(x_true);
+}
+
+TEST(SerialSolve, RoundTripOnZoo) {
+  for (const auto& [name, lower] : testutil::lowerTriangularZoo()) {
+    const auto x_true = referenceSolution(lower.rows(), 77);
+    const auto b = rhsFor(lower, x_true);
+    std::vector<double> x(static_cast<size_t>(lower.rows()), 0.0);
+    solveLowerSerial(lower, b, x);
+    EXPECT_LT(relMaxAbsDiff(x, x_true), 1e-9) << name;
+    EXPECT_LT(residualInf(lower, x, b), 1e-9) << name;
+  }
+}
+
+TEST(SerialSolve, UpperRoundTrip) {
+  const auto lower = datagen::bandedLower(300, 6, 0.5, 31);
+  const CsrMatrix upper = lower.transposed();
+  const auto x_true = referenceSolution(300, 78);
+  const auto b = upper.multiply(x_true);
+  std::vector<double> x(300, 0.0);
+  solveUpperSerial(upper, b, x);
+  EXPECT_LT(relMaxAbsDiff(x, x_true), 1e-9);
+}
+
+TEST(SerialSolve, RejectsMissingDiagonal) {
+  // Row 1 has no diagonal entry.
+  const std::vector<Triplet> t = {{0, 0, 1.0}, {1, 0, 1.0}};
+  const CsrMatrix bad = CsrMatrix::fromTriplets(2, 2, t);
+  EXPECT_THROW(requireSolvableLower(bad), std::invalid_argument);
+}
+
+TEST(SerialSolve, RejectsZeroDiagonal) {
+  const std::vector<Triplet> t = {{0, 0, 0.0}, {1, 1, 1.0}};
+  const CsrMatrix bad = CsrMatrix::fromTriplets(2, 2, t);
+  EXPECT_THROW(requireSolvableLower(bad), std::invalid_argument);
+}
+
+TEST(SerialSolve, RejectsNonTriangular) {
+  const std::vector<Triplet> t = {{0, 0, 1.0}, {0, 1, 1.0}, {1, 1, 1.0}};
+  const CsrMatrix bad = CsrMatrix::fromTriplets(2, 2, t);
+  EXPECT_THROW(requireSolvableLower(bad), std::invalid_argument);
+}
+
+TEST(SerialSolve, SizeMismatchThrows) {
+  const CsrMatrix id = CsrMatrix::identity(3);
+  std::vector<double> b(2, 1.0), x(3, 0.0);
+  EXPECT_THROW(solveLowerSerial(id, b, x), std::invalid_argument);
+}
+
+/// Parallel executors must reproduce the serial result bit-for-bit: each
+/// row sums its CSR entries in the same order regardless of the schedule.
+TEST(BspExecutor, BitIdenticalToSerialOnZoo) {
+  for (const auto& [name, lower] : testutil::lowerTriangularZoo()) {
+    const Dag d = Dag::fromLowerTriangular(lower);
+    const Schedule s = core::growLocalSchedule(d, {.num_cores = 2});
+    const BspExecutor exec(lower, s);
+    const auto x_true = referenceSolution(lower.rows(), 80);
+    const auto b = rhsFor(lower, x_true);
+    std::vector<double> x_serial(b.size(), 0.0), x_par(b.size(), 0.0);
+    solveLowerSerial(lower, b, x_serial);
+    exec.solve(b, x_par);
+    EXPECT_EQ(x_serial, x_par) << name;
+  }
+}
+
+TEST(BspExecutor, RepeatedSolvesAreStable) {
+  const auto lower = datagen::erdosRenyiLower({.n = 600, .p = 5e-3, .seed = 82});
+  const Dag d = Dag::fromLowerTriangular(lower);
+  const Schedule s = core::growLocalSchedule(d, {.num_cores = 2});
+  const BspExecutor exec(lower, s);
+  const auto x_true = referenceSolution(lower.rows(), 83);
+  const auto b = rhsFor(lower, x_true);
+  std::vector<double> x1(b.size(), 0.0), x2(b.size(), 1.0);
+  exec.solve(b, x1);
+  exec.solve(b, x2);
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(P2pExecutor, MatchesSerialWithFullSyncDag) {
+  for (const auto& [name, lower] : testutil::lowerTriangularZoo()) {
+    const Dag d = Dag::fromLowerTriangular(lower);
+    const auto spmp = baselines::spmpSchedule(d, {.num_cores = 2});
+    P2pExecutor exec(lower, spmp.schedule, d);  // full DAG: conservative sync
+    const auto x_true = referenceSolution(lower.rows(), 85);
+    const auto b = rhsFor(lower, x_true);
+    std::vector<double> x_serial(b.size(), 0.0), x_par(b.size(), 0.0);
+    solveLowerSerial(lower, b, x_serial);
+    exec.solve(b, x_par);
+    EXPECT_EQ(x_serial, x_par) << name;
+  }
+}
+
+TEST(P2pExecutor, MatchesSerialWithReducedSyncDag) {
+  for (const auto& [name, lower] : testutil::lowerTriangularZoo()) {
+    const Dag d = Dag::fromLowerTriangular(lower);
+    const auto spmp = baselines::spmpSchedule(d, {.num_cores = 2});
+    P2pExecutor exec(lower, spmp.schedule, spmp.reduced_dag);
+    const auto x_true = referenceSolution(lower.rows(), 86);
+    const auto b = rhsFor(lower, x_true);
+    std::vector<double> x_serial(b.size(), 0.0), x_par(b.size(), 0.0);
+    solveLowerSerial(lower, b, x_serial);
+    // Repeated solves exercise the epoch mechanism.
+    for (int rep = 0; rep < 3; ++rep) {
+      std::fill(x_par.begin(), x_par.end(), 0.0);
+      exec.solve(b, x_par);
+      EXPECT_EQ(x_serial, x_par) << name << " rep " << rep;
+    }
+  }
+}
+
+TEST(P2pExecutor, ReductionShrinksCrossDependencies) {
+  const auto lower = datagen::erdosRenyiLower({.n = 800, .p = 8e-3, .seed = 87});
+  const Dag d = Dag::fromLowerTriangular(lower);
+  const auto spmp = baselines::spmpSchedule(d, {.num_cores = 2});
+  P2pExecutor full(lower, spmp.schedule, d);
+  P2pExecutor reduced(lower, spmp.schedule, spmp.reduced_dag);
+  EXPECT_LT(reduced.numCrossDependencies(), full.numCrossDependencies());
+}
+
+TEST(ContiguousExecutor, MatchesSerialWithinTolerance) {
+  // The permuted matrix reorders row entries, so the sums can differ by
+  // rounding; compare with a norm-wise tolerance.
+  for (const auto& [name, lower] : testutil::lowerTriangularZoo()) {
+    const Dag d = Dag::fromLowerTriangular(lower);
+    const Schedule s = core::growLocalSchedule(d, {.num_cores = 2});
+    core::ReorderedProblem problem = core::reorderForLocality(lower, s);
+    const ContiguousBspExecutor exec(problem.matrix, problem.num_supersteps,
+                                     problem.num_cores, problem.group_ptr);
+    const auto x_true = referenceSolution(lower.rows(), 88);
+    const auto b = rhsFor(lower, x_true);
+    const auto b_perm = sparse::permuteVector(b, problem.new_to_old);
+    std::vector<double> x_perm(b.size(), 0.0);
+    exec.solve(b_perm, x_perm);
+    const auto x = sparse::unpermuteVector(x_perm, problem.new_to_old);
+    EXPECT_LT(relMaxAbsDiff(x, x_true), 1e-8) << name;
+  }
+}
+
+TEST(VerifyHelpers, Norms) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 2.5, 3.0};
+  EXPECT_DOUBLE_EQ(maxAbsDiff(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(relMaxAbsDiff(a, b), 0.5 / 3.0);
+  EXPECT_THROW(maxAbsDiff(a, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(VerifyHelpers, ReferenceSolutionDeterministicNonZero) {
+  const auto x1 = referenceSolution(100, 5);
+  const auto x2 = referenceSolution(100, 5);
+  EXPECT_EQ(x1, x2);
+  for (const double v : x1) {
+    EXPECT_GE(std::abs(v), 0.1);
+    EXPECT_LE(std::abs(v), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace sts::exec

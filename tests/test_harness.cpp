@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "harness/datasets.hpp"
+#include "harness/runner.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+
+namespace sts::harness {
+namespace {
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean(std::vector<double>{4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geometricMean(std::vector<double>{8.0}), 8.0);
+  EXPECT_DOUBLE_EQ(geometricMean(std::vector<double>{}), 0.0);
+  EXPECT_NEAR(geometricMean(std::vector<double>{1.0, 10.0, 100.0}), 10.0,
+              1e-12);
+  EXPECT_THROW(geometricMean(std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(geometricMean(std::vector<double>{-1.0}),
+               std::invalid_argument);
+}
+
+TEST(Stats, QuantileInterpolation) {
+  const std::vector<double> v = {3.0, 1.0, 2.0, 4.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, QuartilesOrdered) {
+  const std::vector<double> v = {5.0, 9.0, 1.0, 7.0, 3.0};
+  const auto q = quartiles(v);
+  EXPECT_LE(q.q25, q.median);
+  EXPECT_LE(q.median, q.q75);
+  EXPECT_DOUBLE_EQ(q.median, 5.0);
+}
+
+TEST(Stats, PerformanceProfiles) {
+  // Two algorithms, three matrices: A wins twice, B once.
+  const std::vector<std::string> names = {"A", "B"};
+  const std::vector<std::vector<double>> times = {
+      {1.0, 1.0, 2.0},   // A
+      {2.0, 2.0, 1.0}};  // B
+  const std::vector<double> taus = {1.0, 2.0};
+  const auto curves = performanceProfiles(names, times, taus);
+  ASSERT_EQ(curves.size(), 2u);
+  // tau = 1: A is fastest on 2/3, B on 1/3.
+  EXPECT_NEAR(curves[0].fraction[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(curves[1].fraction[0], 1.0 / 3.0, 1e-12);
+  // tau = 2: both within 2x of best everywhere.
+  EXPECT_DOUBLE_EQ(curves[0].fraction[1], 1.0);
+  EXPECT_DOUBLE_EQ(curves[1].fraction[1], 1.0);
+}
+
+TEST(Stats, PerformanceProfilesRejectsRagged) {
+  const std::vector<std::string> names = {"A", "B"};
+  const std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {1.0}};
+  const std::vector<double> taus = {1.0};
+  EXPECT_THROW(performanceProfiles(names, ragged, taus),
+               std::invalid_argument);
+}
+
+TEST(Stats, AmortizationThreshold) {
+  // 10 units of scheduling, serial 3, parallel 1: pays off after 5 solves.
+  EXPECT_DOUBLE_EQ(amortizationThreshold(10.0, 3.0, 1.0), 5.0);
+  // Parallel slower than serial: never amortizes (Eq. 7.1 footnote).
+  EXPECT_TRUE(std::isinf(amortizationThreshold(10.0, 1.0, 2.0)));
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", "1.50"});
+  t.addRow({"b", "10.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("10.25"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FormatsDoubles) {
+  EXPECT_EQ(Table::fmt(1.236, 2), "1.24");
+  EXPECT_EQ(Table::fmt(std::numeric_limits<double>::infinity()), "inf");
+}
+
+TEST(Datasets, AllFamiliesNonEmptyAndLowerTriangular) {
+  // Small scale keeps this test fast; every entry must be a solvable
+  // SpTRSV instance.
+  for (const auto& [name, set] : allDatasets(0.05)) {
+    EXPECT_FALSE(set.empty()) << name;
+    for (const auto& entry : set) {
+      EXPECT_TRUE(entry.lower.isLowerTriangular()) << name << entry.name;
+      EXPECT_TRUE(entry.lower.hasFullDiagonal()) << name << entry.name;
+      EXPECT_GT(entry.lower.rows(), 0) << name << entry.name;
+    }
+  }
+}
+
+TEST(Datasets, MetisVariantChangesPattern) {
+  const auto natural = suiteSparseStandin(0.05);
+  const auto metis = metisStandin(0.05);
+  ASSERT_EQ(natural.size(), metis.size());
+  // Same size, permuted pattern.
+  EXPECT_EQ(natural[0].lower.rows(), metis[0].lower.rows());
+  EXPECT_FALSE(natural[0].lower.structureEquals(metis[0].lower));
+}
+
+TEST(Datasets, AverageWavefrontMatchesDefinition) {
+  // A diagonal matrix has one wavefront: avg wavefront == n.
+  const auto diag = sparse::CsrMatrix::identity(32);
+  EXPECT_DOUBLE_EQ(averageWavefrontSize(diag), 32.0);
+}
+
+TEST(Runner, MedianSecondsCountsCalls) {
+  int calls = 0;
+  const double t = medianSeconds([&calls] { ++calls; }, 2, 5);
+  EXPECT_EQ(calls, 7);  // warmup + reps
+  EXPECT_GE(t, 0.0);
+}
+
+TEST(Runner, MeasureSolverProducesConsistentRecord) {
+  const auto set = suiteSparseStandin(0.05);
+  MeasureOptions opts;
+  opts.reps = 5;
+  opts.warmup = 1;
+  const auto m = measureSolver(set[0].name, set[0].lower,
+                               exec::SchedulerKind::kGrowLocal, opts);
+  EXPECT_GT(m.serial_seconds, 0.0);
+  EXPECT_GT(m.parallel_seconds, 0.0);
+  EXPECT_NEAR(m.speedup, m.serial_seconds / m.parallel_seconds, 1e-12);
+  EXPECT_GT(m.supersteps, 0);
+  EXPECT_GE(m.wavefront_reduction, 1.0);
+  EXPECT_EQ(m.scheduler, "GrowLocal");
+}
+
+}  // namespace
+}  // namespace sts::harness

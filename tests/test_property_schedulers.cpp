@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <tuple>
+
+#include "baselines/bsplist.hpp"
+#include "baselines/hdagg.hpp"
+#include "baselines/spmp.hpp"
+#include "baselines/wavefront.hpp"
+#include "core/coarsen.hpp"
+#include "core/growlocal.hpp"
+#include "core/schedule.hpp"
+#include "dag/dag.hpp"
+#include "test_util.hpp"
+
+/// Property sweep: every scheduler must produce a valid schedule (Def. 2.1
+/// + in-group order + exact cover) on every matrix of the structural zoo,
+/// for several core counts. This is the central safety net for the whole
+/// scheduling stack.
+
+namespace sts {
+namespace {
+
+using core::Schedule;
+using core::validateSchedule;
+using dag::Dag;
+
+using SchedulerFn = std::function<Schedule(const Dag&, int cores)>;
+
+struct SchedulerCase {
+  std::string name;
+  SchedulerFn run;
+};
+
+std::vector<SchedulerCase> schedulerCases() {
+  return {
+      {"GrowLocal",
+       [](const Dag& d, int cores) {
+         return core::growLocalSchedule(d, {.num_cores = cores});
+       }},
+      {"FunnelGrowLocal",
+       [](const Dag& d, int cores) {
+         return core::funnelGrowLocalSchedule(d, {.num_cores = cores});
+       }},
+      {"Wavefront",
+       [](const Dag& d, int cores) {
+         return baselines::wavefrontSchedule(d, {.num_cores = cores});
+       }},
+      {"HDagg",
+       [](const Dag& d, int cores) {
+         baselines::HdaggOptions opts;
+         opts.num_cores = cores;
+         return baselines::hdaggSchedule(d, opts);
+       }},
+      {"HDaggNoCoarsen",
+       [](const Dag& d, int cores) {
+         baselines::HdaggOptions opts;
+         opts.num_cores = cores;
+         opts.coarsen = false;
+         return baselines::hdaggSchedule(d, opts);
+       }},
+      {"SpMP",
+       [](const Dag& d, int cores) {
+         baselines::SpmpOptions opts;
+         opts.num_cores = cores;
+         return baselines::spmpSchedule(d, opts).schedule;
+       }},
+      {"BSPg",
+       [](const Dag& d, int cores) {
+         return baselines::bspListSchedule(d, {.num_cores = cores});
+       }},
+  };
+}
+
+class SchedulerProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, int>> {};
+
+TEST_P(SchedulerProperty, ProducesValidSchedule) {
+  const auto [scheduler_idx, matrix_idx, cores] = GetParam();
+  const auto cases = schedulerCases();
+  const auto zoo = testutil::lowerTriangularZoo();
+  const auto& sched = cases[scheduler_idx];
+  const auto& entry = zoo[matrix_idx];
+
+  const Dag d = Dag::fromLowerTriangular(entry.lower);
+  const Schedule s = sched.run(d, cores);
+  EXPECT_EQ(s.numCores(), cores);
+  const auto validation = validateSchedule(d, s);
+  EXPECT_TRUE(validation.ok)
+      << sched.name << " on " << entry.name << " with " << cores
+      << " cores: " << validation.message;
+  // Exact cover is part of validation; also check assignment totals.
+  EXPECT_EQ(s.numVertices(), d.numVertices());
+}
+
+std::string propertyName(
+    const ::testing::TestParamInfo<std::tuple<size_t, size_t, int>>& info) {
+  const auto [scheduler_idx, matrix_idx, cores] = info.param;
+  const auto cases = schedulerCases();
+  const auto zoo = testutil::lowerTriangularZoo();
+  std::string name = cases[scheduler_idx].name + "_" +
+                     zoo[matrix_idx].name + "_c" + std::to_string(cores);
+  for (auto& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulersAllMatrices, SchedulerProperty,
+    ::testing::Combine(::testing::Range<size_t>(0, 7),
+                       ::testing::Range<size_t>(0, 11),
+                       ::testing::Values(1, 2, 4)),
+    propertyName);
+
+}  // namespace
+}  // namespace sts

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/block.hpp"
+#include "core/growlocal.hpp"
+#include "core/reorder.hpp"
+#include "dag/dag.hpp"
+#include "dag/toposort.hpp"
+#include "datagen/random_matrices.hpp"
+#include "sparse/permute.hpp"
+#include "test_util.hpp"
+
+namespace sts::core {
+namespace {
+
+using dag::Dag;
+using sparse::CsrMatrix;
+
+TEST(Reorder, PermutationIsTopological) {
+  for (const auto& [name, lower] : testutil::lowerTriangularZoo()) {
+    const Dag d = Dag::fromLowerTriangular(lower);
+    const Schedule s = growLocalSchedule(d, {.num_cores = 2});
+    for (const auto order : {InGroupOrder::kById, InGroupOrder::kByExecution}) {
+      const auto perm = schedulePermutation(s, order);
+      EXPECT_TRUE(dag::isTopologicalOrder(d, perm)) << name;
+    }
+  }
+}
+
+TEST(Reorder, PermutedMatrixStaysLowerTriangular) {
+  for (const auto& [name, lower] : testutil::lowerTriangularZoo()) {
+    const Dag d = Dag::fromLowerTriangular(lower);
+    const Schedule s = growLocalSchedule(d, {.num_cores = 2});
+    const ReorderedProblem problem = reorderForLocality(lower, s);
+    EXPECT_TRUE(problem.matrix.isLowerTriangular()) << name;
+    EXPECT_EQ(problem.matrix.nnz(), lower.nnz()) << name;
+    EXPECT_TRUE(sparse::isPermutation(problem.new_to_old)) << name;
+  }
+}
+
+TEST(Reorder, GroupsBecomeContiguousRowRanges) {
+  const auto lower = datagen::erdosRenyiLower({.n = 500, .p = 4e-3, .seed = 91});
+  const Dag d = Dag::fromLowerTriangular(lower);
+  const Schedule s = growLocalSchedule(d, {.num_cores = 2});
+  const ReorderedProblem problem = reorderForLocality(lower, s);
+  // Row i of the permuted matrix is old row new_to_old[i]; the rows of
+  // group g must be exactly positions [group_ptr[g], group_ptr[g+1]).
+  const auto inv = sparse::inversePermutation(problem.new_to_old);
+  for (index_t ss = 0; ss < s.numSupersteps(); ++ss) {
+    for (int p = 0; p < s.numCores(); ++p) {
+      const size_t g = static_cast<size_t>(ss) * 2 + static_cast<size_t>(p);
+      for (const index_t v : s.group(ss, p)) {
+        const index_t pos = inv[static_cast<size_t>(v)];
+        EXPECT_GE(pos, problem.group_ptr[g]);
+        EXPECT_LT(pos, problem.group_ptr[g + 1]);
+      }
+    }
+  }
+}
+
+TEST(Reorder, RejectsMismatchedDimensions) {
+  const auto lower = datagen::diagonalMatrix(10);
+  const Dag d = Dag::fromLowerTriangular(datagen::diagonalMatrix(5));
+  const Schedule s = growLocalSchedule(d, {.num_cores = 2});
+  EXPECT_THROW(reorderForLocality(lower, s), std::invalid_argument);
+}
+
+TEST(BlockSchedule, BoundariesCoverAndBalance) {
+  const auto lower = datagen::erdosRenyiLower({.n = 1000, .p = 2e-3, .seed = 92});
+  const Dag d = Dag::fromLowerTriangular(lower);
+  const auto bounds = computeBlockBoundaries(d, 4);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), d.numVertices());
+  for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+    EXPECT_LE(bounds[i], bounds[i + 1]);
+  }
+  // Each block's weight should be within 2x of the ideal share.
+  const auto total = d.totalWeight();
+  for (size_t blk = 0; blk + 1 < bounds.size(); ++blk) {
+    dag::weight_t w = 0;
+    for (index_t v = bounds[blk]; v < bounds[blk + 1]; ++v) w += d.weight(v);
+    EXPECT_LT(w, total / 2) << "block " << blk;
+  }
+}
+
+TEST(BlockSchedule, ValidAcrossBlockCounts) {
+  for (const auto& [name, lower] : testutil::lowerTriangularZoo()) {
+    const Dag d = Dag::fromLowerTriangular(lower);
+    for (const int blocks : {1, 2, 3, 8}) {
+      BlockScheduleOptions opts;
+      opts.num_blocks = blocks;
+      opts.growlocal.num_cores = 2;
+      const Schedule s = blockGrowLocalSchedule(d, opts);
+      const auto v = validateSchedule(d, s);
+      EXPECT_TRUE(v.ok) << name << " blocks=" << blocks << ": " << v.message;
+    }
+  }
+}
+
+TEST(BlockSchedule, OneBlockMatchesPlainGrowLocal) {
+  const auto lower = datagen::bandedLower(800, 10, 0.5, 93);
+  const Dag d = Dag::fromLowerTriangular(lower);
+  BlockScheduleOptions opts;
+  opts.num_blocks = 1;
+  opts.growlocal.num_cores = 2;
+  const Schedule blocked = blockGrowLocalSchedule(d, opts);
+  const Schedule plain = growLocalSchedule(d, opts.growlocal);
+  ASSERT_EQ(blocked.numSupersteps(), plain.numSupersteps());
+  for (index_t v = 0; v < d.numVertices(); ++v) {
+    EXPECT_EQ(blocked.coreOf(v), plain.coreOf(v));
+    EXPECT_EQ(blocked.superstepOf(v), plain.superstepOf(v));
+  }
+}
+
+TEST(BlockSchedule, MoreBlocksMoreSupersteps) {
+  // Table 7.7: the superstep count grows with the number of blocks.
+  const auto lower = datagen::erdosRenyiLower({.n = 3000, .p = 2e-3, .seed = 94});
+  const Dag d = Dag::fromLowerTriangular(lower);
+  BlockScheduleOptions one, many;
+  one.num_blocks = 1;
+  one.growlocal.num_cores = 2;
+  many.num_blocks = 8;
+  many.growlocal.num_cores = 2;
+  const Schedule s1 = blockGrowLocalSchedule(d, one);
+  const Schedule s8 = blockGrowLocalSchedule(d, many);
+  EXPECT_GE(s8.numSupersteps(), s1.numSupersteps());
+}
+
+TEST(BlockSchedule, SequentialAndParallelSchedulingAgree) {
+  const auto lower = datagen::erdosRenyiLower({.n = 1500, .p = 2e-3, .seed = 95});
+  const Dag d = Dag::fromLowerTriangular(lower);
+  BlockScheduleOptions seq, par;
+  seq.num_blocks = par.num_blocks = 4;
+  seq.parallel = false;
+  par.parallel = true;
+  seq.growlocal.num_cores = par.growlocal.num_cores = 2;
+  const Schedule a = blockGrowLocalSchedule(d, seq);
+  const Schedule b = blockGrowLocalSchedule(d, par);
+  ASSERT_EQ(a.numSupersteps(), b.numSupersteps());
+  for (index_t v = 0; v < d.numVertices(); ++v) {
+    EXPECT_EQ(a.coreOf(v), b.coreOf(v));
+    EXPECT_EQ(a.superstepOf(v), b.superstepOf(v));
+  }
+}
+
+TEST(BlockSchedule, RejectsBadBlockCount) {
+  const Dag d = Dag::fromLowerTriangular(datagen::diagonalMatrix(10));
+  EXPECT_THROW(computeBlockBoundaries(d, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sts::core

@@ -1,0 +1,140 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/dag.hpp"
+#include "datagen/random_matrices.hpp"
+#include "test_util.hpp"
+
+namespace sts::core {
+namespace {
+
+using dag::Dag;
+using dag::Edge;
+
+Dag smallDag() {
+  // 0 -> 1 -> 3, 0 -> 2, 2 -> 3.
+  return Dag::fromEdges(4, std::vector<Edge>{{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+}
+
+TEST(Schedule, SerialScheduleIsValid) {
+  const Dag d = smallDag();
+  const Schedule s = Schedule::serial(d);
+  EXPECT_EQ(s.numCores(), 1);
+  EXPECT_EQ(s.numSupersteps(), 1);
+  EXPECT_EQ(s.numBarriers(), 0);
+  EXPECT_TRUE(validateSchedule(d, s).ok);
+}
+
+TEST(Schedule, FromAssignmentCompactsSupersteps) {
+  const Dag d = smallDag();
+  const std::vector<int> core = {0, 0, 0, 0};
+  const std::vector<index_t> superstep = {0, 5, 5, 9};  // gaps
+  const Schedule s = Schedule::fromAssignment(d, 2, core, superstep);
+  EXPECT_EQ(s.numSupersteps(), 3);
+  EXPECT_EQ(s.superstepOf(0), 0);
+  EXPECT_EQ(s.superstepOf(1), 1);
+  EXPECT_EQ(s.superstepOf(3), 2);
+  EXPECT_TRUE(validateSchedule(d, s).ok);
+}
+
+TEST(Schedule, GroupsPartitionVertices) {
+  const Dag d = smallDag();
+  const std::vector<int> core = {0, 1, 0, 1};
+  const std::vector<index_t> superstep = {0, 1, 1, 2};
+  const Schedule s = Schedule::fromAssignment(d, 2, core, superstep);
+  size_t total = 0;
+  for (index_t ss = 0; ss < s.numSupersteps(); ++ss) {
+    for (int p = 0; p < s.numCores(); ++p) total += s.group(ss, p).size();
+  }
+  EXPECT_EQ(total, 4u);
+  EXPECT_TRUE(validateSchedule(d, s).ok);
+}
+
+TEST(ScheduleValidation, DetectsBackwardsSuperstep) {
+  const Dag d = smallDag();
+  const std::vector<int> core = {0, 0, 0, 0};
+  const std::vector<index_t> superstep = {1, 0, 1, 2};  // child before parent
+  const Schedule s = Schedule::fromAssignment(d, 1, core, superstep);
+  const auto v = validateSchedule(d, s);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.message.find("backwards"), std::string::npos);
+}
+
+TEST(ScheduleValidation, DetectsCrossCoreWithoutBarrier) {
+  const Dag d = smallDag();
+  const std::vector<int> core = {0, 1, 0, 0};  // edge 0->1 crosses cores
+  const std::vector<index_t> superstep = {0, 0, 1, 2};
+  const Schedule s = Schedule::fromAssignment(d, 2, core, superstep);
+  const auto v = validateSchedule(d, s);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.message.find("crosses cores"), std::string::npos);
+}
+
+TEST(ScheduleValidation, AcceptsSameCoreChainInOneSuperstep) {
+  const Dag d = smallDag();
+  const std::vector<int> core = {0, 0, 0, 0};
+  const std::vector<index_t> superstep = {0, 0, 0, 0};
+  const Schedule s = Schedule::fromAssignment(d, 1, core, superstep);
+  EXPECT_TRUE(validateSchedule(d, s).ok);
+}
+
+TEST(ScheduleValidation, DetectsBadInGroupOrder) {
+  const Dag d = smallDag();
+  // Hand-build a schedule whose in-group order lists a child before its
+  // parent on the same core and superstep.
+  const Schedule s(4, 1, 1, {0, 0, 0, 0}, {0, 0, 0, 0}, {3, 2, 1, 0},
+                   {0, 4});
+  const auto v = validateSchedule(d, s);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.message.find("execution order"), std::string::npos);
+}
+
+TEST(ScheduleValidation, DetectsDuplicateVertexInOrder) {
+  const Schedule s(4, 1, 1, {0, 0, 0, 0}, {0, 0, 0, 0}, {0, 1, 2, 2},
+                   {0, 4});
+  const auto v = validateSchedule(smallDag(), s);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(ScheduleStats, SerialBaseline) {
+  const Dag d = smallDag();
+  const Schedule s = Schedule::serial(d);
+  const ScheduleStats stats = computeScheduleStats(d, s, 500.0);
+  EXPECT_EQ(stats.supersteps, 1);
+  EXPECT_EQ(stats.barriers, 0);
+  EXPECT_EQ(stats.total_work, d.totalWeight());
+  EXPECT_EQ(stats.makespan_work, d.totalWeight());
+  EXPECT_DOUBLE_EQ(stats.bsp_cost, static_cast<double>(d.totalWeight()));
+  // Serial on a 3-wavefront DAG: reduction factor = 3 / 1.
+  EXPECT_DOUBLE_EQ(stats.wavefront_reduction, 3.0);
+}
+
+TEST(ScheduleStats, BalancedTwoCoreSchedule) {
+  // Two independent chains on two cores: perfectly balanced.
+  const Dag d = Dag::fromEdges(4, std::vector<Edge>{{0, 2}, {1, 3}});
+  const std::vector<int> core = {0, 1, 0, 1};
+  const std::vector<index_t> superstep = {0, 0, 0, 0};
+  const Schedule s = Schedule::fromAssignment(d, 2, core, superstep);
+  ASSERT_TRUE(validateSchedule(d, s).ok);
+  const ScheduleStats stats = computeScheduleStats(d, s, 500.0);
+  EXPECT_EQ(stats.makespan_work, 2);
+  EXPECT_DOUBLE_EQ(stats.imbalance, 1.0);
+}
+
+TEST(Schedule, ConstructorRejectsMalformedGroupPtr) {
+  EXPECT_THROW(Schedule(2, 1, 1, {0, 0}, {0, 0}, {0, 1}, {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(Schedule(2, 0, 1, {0, 0}, {0, 0}, {0, 1}, {0, 2}),
+               std::invalid_argument);
+}
+
+TEST(Schedule, EmptyDag) {
+  const Dag d;
+  const Schedule s = Schedule::serial(d);
+  EXPECT_EQ(s.numSupersteps(), 0);
+  EXPECT_TRUE(validateSchedule(d, s).ok);
+}
+
+}  // namespace
+}  // namespace sts::core

@@ -1,0 +1,156 @@
+#include "exec/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "exec/serial.hpp"
+#include "exec/verify.hpp"
+#include "datagen/random_matrices.hpp"
+#include "test_util.hpp"
+
+namespace sts::exec {
+namespace {
+
+using sparse::CsrMatrix;
+
+const std::vector<SchedulerKind> kAllKinds = {
+    SchedulerKind::kGrowLocal, SchedulerKind::kFunnelGrowLocal,
+    SchedulerKind::kWavefront, SchedulerKind::kHdagg,
+    SchedulerKind::kSpmp,      SchedulerKind::kBspList,
+    SchedulerKind::kSerial,
+};
+
+TEST(TriangularSolver, AllSchedulersSolveCorrectly) {
+  const auto lower = datagen::erdosRenyiLower({.n = 800, .p = 4e-3, .seed = 50});
+  const auto x_true = referenceSolution(lower.rows(), 51);
+  const auto b = lower.multiply(x_true);
+  for (const SchedulerKind kind : kAllKinds) {
+    SolverOptions opts;
+    opts.scheduler = kind;
+    opts.num_threads = 2;
+    auto solver = TriangularSolver::analyze(lower, opts);
+    std::vector<double> x(b.size(), 0.0);
+    solver.solve(b, x);
+    EXPECT_LT(relMaxAbsDiff(x, x_true), 1e-8) << schedulerKindName(kind);
+  }
+}
+
+/// Property sweep: (scheduler, reorder) x zoo must reproduce the serial
+/// solution for every structural extreme.
+class SolverProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, bool, size_t>> {};
+
+TEST_P(SolverProperty, MatchesSerialSolve) {
+  const auto [kind_idx, reorder, matrix_idx] = GetParam();
+  const auto zoo = testutil::lowerTriangularZoo();
+  const auto& entry = zoo[matrix_idx];
+  SolverOptions opts;
+  opts.scheduler = kAllKinds[kind_idx];
+  opts.num_threads = 2;
+  opts.reorder = reorder;
+  auto solver = TriangularSolver::analyze(entry.lower, opts);
+  const auto x_true = referenceSolution(entry.lower.rows(), 52);
+  const auto b = entry.lower.multiply(x_true);
+  std::vector<double> x(b.size(), 0.0), x_serial(b.size(), 0.0);
+  solveLowerSerial(entry.lower, b, x_serial);
+  for (int rep = 0; rep < 2; ++rep) {
+    std::fill(x.begin(), x.end(), -1.0);
+    solver.solve(b, x);
+    EXPECT_LT(relMaxAbsDiff(x, x_serial), 1e-8)
+        << schedulerKindName(opts.scheduler) << " reorder=" << reorder
+        << " on " << entry.name;
+  }
+}
+
+std::string solverPropertyName(
+    const ::testing::TestParamInfo<std::tuple<size_t, bool, size_t>>& info) {
+  const auto [kind_idx, reorder, matrix_idx] = info.param;
+  const auto zoo = testutil::lowerTriangularZoo();
+  std::string name = schedulerKindName(kAllKinds[kind_idx]) +
+                     std::string(reorder ? "_reorder_" : "_plain_") +
+                     zoo[matrix_idx].name;
+  for (auto& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SolverProperty,
+    ::testing::Combine(::testing::Range<size_t>(0, 7), ::testing::Bool(),
+                       ::testing::Range<size_t>(0, 11)),
+    solverPropertyName);
+
+TEST(TriangularSolver, UpperTriangularInput) {
+  const auto lower = datagen::bandedLower(400, 8, 0.5, 53);
+  const CsrMatrix upper = lower.transposed();
+  const auto x_true = referenceSolution(400, 54);
+  const auto b = upper.multiply(x_true);
+  for (const bool reorder : {false, true}) {
+    SolverOptions opts;
+    opts.num_threads = 2;
+    opts.reorder = reorder;
+    auto solver = TriangularSolver::analyze(upper, opts);
+    std::vector<double> x(b.size(), 0.0);
+    solver.solve(b, x);
+    EXPECT_LT(relMaxAbsDiff(x, x_true), 1e-8) << "reorder=" << reorder;
+  }
+}
+
+TEST(TriangularSolver, BlockScheduledAnalysis) {
+  const auto lower = datagen::erdosRenyiLower({.n = 1500, .p = 2e-3, .seed = 55});
+  const auto x_true = referenceSolution(lower.rows(), 56);
+  const auto b = lower.multiply(x_true);
+  for (const int blocks : {2, 4}) {
+    SolverOptions opts;
+    opts.num_threads = 2;
+    opts.num_schedule_blocks = blocks;
+    auto solver = TriangularSolver::analyze(lower, opts);
+    std::vector<double> x(b.size(), 0.0);
+    solver.solve(b, x);
+    EXPECT_LT(relMaxAbsDiff(x, x_true), 1e-8) << "blocks=" << blocks;
+  }
+}
+
+TEST(TriangularSolver, RejectsNonTriangular) {
+  const std::vector<Triplet> t = {{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 1.0},
+                                  {1, 1, 1.0}};
+  const CsrMatrix full = CsrMatrix::fromTriplets(2, 2, t);
+  EXPECT_THROW(TriangularSolver::analyze(full), std::invalid_argument);
+}
+
+TEST(TriangularSolver, RejectsSingularDiagonal) {
+  const std::vector<Triplet> t = {{0, 0, 1.0}, {1, 0, 1.0}};  // no (1,1)
+  const CsrMatrix bad = CsrMatrix::fromTriplets(2, 2, t);
+  EXPECT_THROW(TriangularSolver::analyze(bad), std::invalid_argument);
+}
+
+TEST(TriangularSolver, RejectsBadThreadCount) {
+  const CsrMatrix id = CsrMatrix::identity(4);
+  SolverOptions opts;
+  opts.num_threads = 0;
+  EXPECT_THROW(TriangularSolver::analyze(id, opts), std::invalid_argument);
+}
+
+TEST(TriangularSolver, ExposesScheduleAndStats) {
+  const auto lower = datagen::bandedLower(600, 10, 0.5, 57);
+  SolverOptions opts;
+  opts.num_threads = 2;
+  auto solver = TriangularSolver::analyze(lower, opts);
+  EXPECT_EQ(solver.numRows(), 600);
+  EXPECT_GT(solver.schedule().numSupersteps(), 0);
+  EXPECT_GT(solver.stats().total_work, 0);
+  EXPECT_GE(solver.analysisSeconds(), 0.0);
+  EXPECT_GT(solver.stats().wavefront_reduction, 1.0);
+}
+
+TEST(TriangularSolver, SolveSizeMismatchThrows) {
+  const CsrMatrix id = CsrMatrix::identity(4);
+  auto solver = TriangularSolver::analyze(id);
+  std::vector<double> b(3, 1.0), x(4, 0.0);
+  EXPECT_THROW(solver.solve(b, x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sts::exec

@@ -1,0 +1,186 @@
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sts::sparse {
+namespace {
+
+TEST(CsrMatrix, EmptyMatrix) {
+  const CsrMatrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(CsrMatrix, FromTripletsBasic) {
+  const std::vector<Triplet> t = {
+      {0, 0, 1.0}, {1, 0, 2.0}, {1, 1, 3.0}, {2, 2, 4.0}};
+  const CsrMatrix m = CsrMatrix::fromTriplets(3, 3, t);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 0.0);
+  EXPECT_TRUE(m.hasEntry(1, 0));
+  EXPECT_FALSE(m.hasEntry(0, 1));
+}
+
+TEST(CsrMatrix, FromTripletsUnsortedInput) {
+  const std::vector<Triplet> t = {
+      {2, 1, 5.0}, {0, 0, 1.0}, {2, 0, 4.0}, {1, 1, 2.0}};
+  const CsrMatrix m = CsrMatrix::fromTriplets(3, 3, t);
+  const auto cols = m.rowCols(2);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 1);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 5.0);
+}
+
+TEST(CsrMatrix, FromTripletsMergesDuplicates) {
+  const std::vector<Triplet> t = {{0, 0, 1.0}, {0, 0, 2.5}, {1, 0, -1.0},
+                                  {1, 0, 1.0}};
+  const CsrMatrix m = CsrMatrix::fromTriplets(2, 2, t);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);  // stored explicit zero
+  EXPECT_TRUE(m.hasEntry(1, 0));
+}
+
+TEST(CsrMatrix, FromTripletsRejectsOutOfRange) {
+  const std::vector<Triplet> t = {{0, 3, 1.0}};
+  EXPECT_THROW(CsrMatrix::fromTriplets(2, 2, t), std::invalid_argument);
+  const std::vector<Triplet> t2 = {{-1, 0, 1.0}};
+  EXPECT_THROW(CsrMatrix::fromTriplets(2, 2, t2), std::invalid_argument);
+}
+
+TEST(CsrMatrix, Identity) {
+  const CsrMatrix id = CsrMatrix::identity(4);
+  EXPECT_EQ(id.nnz(), 4);
+  for (index_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(id.at(i, i), 1.0);
+  EXPECT_TRUE(id.isLowerTriangular());
+  EXPECT_TRUE(id.isUpperTriangular());
+  EXPECT_TRUE(id.hasFullDiagonal());
+}
+
+TEST(CsrMatrix, TransposeRoundTrip) {
+  const std::vector<Triplet> t = {
+      {0, 0, 1.0}, {1, 0, 2.0}, {2, 1, 3.0}, {2, 2, 4.0}, {0, 2, 5.0}};
+  const CsrMatrix m = CsrMatrix::fromTriplets(3, 3, t);
+  const CsrMatrix mt = m.transposed();
+  EXPECT_DOUBLE_EQ(mt.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(mt.at(2, 0), 5.0);
+  EXPECT_TRUE(m.transposed().transposed().structureEquals(m));
+  EXPECT_TRUE(m.transposed().transposed().almostEquals(m, 0.0));
+}
+
+TEST(CsrMatrix, TransposeRectangular) {
+  const std::vector<Triplet> t = {{0, 3, 1.0}, {1, 1, 2.0}};
+  const CsrMatrix m = CsrMatrix::fromTriplets(2, 4, t);
+  const CsrMatrix mt = m.transposed();
+  EXPECT_EQ(mt.rows(), 4);
+  EXPECT_EQ(mt.cols(), 2);
+  EXPECT_DOUBLE_EQ(mt.at(3, 0), 1.0);
+}
+
+TEST(CsrMatrix, TriangleExtraction) {
+  const std::vector<Triplet> t = {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 3.0},
+                                  {1, 1, 4.0}};
+  const CsrMatrix m = CsrMatrix::fromTriplets(2, 2, t);
+  const CsrMatrix lo = m.lowerTriangle();
+  EXPECT_EQ(lo.nnz(), 3);
+  EXPECT_TRUE(lo.isLowerTriangular());
+  const CsrMatrix lo_strict = m.lowerTriangle(false);
+  EXPECT_EQ(lo_strict.nnz(), 1);
+  const CsrMatrix up = m.upperTriangle();
+  EXPECT_EQ(up.nnz(), 3);
+  EXPECT_TRUE(up.isUpperTriangular());
+}
+
+TEST(CsrMatrix, DiagonalExtraction) {
+  const std::vector<Triplet> t = {{0, 0, 2.0}, {1, 0, 1.0}, {2, 2, -3.0}};
+  const CsrMatrix m = CsrMatrix::fromTriplets(3, 3, t);
+  const auto d = m.diagonal();
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], -3.0);
+  EXPECT_FALSE(m.hasFullDiagonal());
+}
+
+TEST(CsrMatrix, SymmetricPermutation) {
+  // A = [[1, 0, 0], [2, 3, 0], [0, 4, 5]]; permute with new_to_old=[2,0,1].
+  const std::vector<Triplet> t = {
+      {0, 0, 1.0}, {1, 0, 2.0}, {1, 1, 3.0}, {2, 1, 4.0}, {2, 2, 5.0}};
+  const CsrMatrix m = CsrMatrix::fromTriplets(3, 3, t);
+  const std::vector<index_t> perm = {2, 0, 1};
+  const CsrMatrix p = m.symmetricPermuted(perm);
+  // B[i][j] = A[perm[i]][perm[j]].
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(p.at(i, j),
+                       m.at(perm[static_cast<size_t>(i)],
+                            perm[static_cast<size_t>(j)]))
+          << "mismatch at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(CsrMatrix, SymmetricPermutationIdentityIsNoop) {
+  const std::vector<Triplet> t = {{0, 0, 1.0}, {1, 0, 2.0}, {1, 1, 3.0}};
+  const CsrMatrix m = CsrMatrix::fromTriplets(2, 2, t);
+  const std::vector<index_t> id = {0, 1};
+  EXPECT_TRUE(m.symmetricPermuted(id).almostEquals(m, 0.0));
+}
+
+TEST(CsrMatrix, SymmetricPermutationRejectsBadInput) {
+  const CsrMatrix m = CsrMatrix::identity(3);
+  const std::vector<index_t> bad = {0, 0, 1};
+  EXPECT_THROW(m.symmetricPermuted(bad), std::invalid_argument);
+  const std::vector<index_t> short_perm = {0, 1};
+  EXPECT_THROW(m.symmetricPermuted(short_perm), std::invalid_argument);
+}
+
+TEST(CsrMatrix, Multiply) {
+  const std::vector<Triplet> t = {
+      {0, 0, 1.0}, {1, 0, 2.0}, {1, 1, 3.0}, {2, 1, 4.0}};
+  const CsrMatrix m = CsrMatrix::fromTriplets(3, 3, t);
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const auto y = m.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 8.0);
+  EXPECT_DOUBLE_EQ(y[2], 8.0);
+}
+
+TEST(CsrMatrix, ConstructorRejectsMalformed) {
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(1, 1, {0, 2}, {0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 2, 1}, {0, 1}, {1.0, 1.0}),
+               std::invalid_argument);  // non-monotone rowPtr
+  // Duplicate column in a row is caught by validate().
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {1, 1}, {1.0, 2.0}), std::logic_error);
+}
+
+TEST(CsrMatrix, ConstructorSortsRows) {
+  const CsrMatrix m(1, 3, {0, 2}, {2, 0}, {5.0, 1.0});
+  const auto cols = m.rowCols(0);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 2);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 5.0);
+}
+
+TEST(CsrMatrix, RowAccessors) {
+  const std::vector<Triplet> t = {{0, 0, 1.0}, {2, 0, 2.0}, {2, 1, 3.0}};
+  const CsrMatrix m = CsrMatrix::fromTriplets(3, 2, t);
+  EXPECT_EQ(m.rowNnz(0), 1);
+  EXPECT_EQ(m.rowNnz(1), 0);
+  EXPECT_EQ(m.rowNnz(2), 2);
+  EXPECT_TRUE(m.rowCols(1).empty());
+}
+
+}  // namespace
+}  // namespace sts::sparse

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/grids.hpp"
+#include "sparse/ic0.hpp"
+#include "sparse/ordering.hpp"
+#include "sparse/permute.hpp"
+
+namespace sts::sparse {
+namespace {
+
+TEST(Ic0, ExactOnDiagonalMatrix) {
+  // IC(0) of a diagonal matrix is the exact Cholesky factor sqrt(D).
+  std::vector<Triplet> t;
+  for (index_t i = 0; i < 5; ++i) {
+    t.push_back({i, i, static_cast<double>(i + 1)});
+  }
+  const CsrMatrix a = CsrMatrix::fromTriplets(5, 5, t);
+  const auto result = incompleteCholesky(a);
+  EXPECT_EQ(result.retries, 0);
+  EXPECT_DOUBLE_EQ(result.applied_shift, 0.0);
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(result.lower.at(i, i), std::sqrt(i + 1.0), 1e-14);
+  }
+}
+
+TEST(Ic0, ExactOnTridiagonalSpd) {
+  // For a tridiagonal SPD matrix, IC(0) equals the full Cholesky factor
+  // (no fill-in exists), so L L^T must reproduce A exactly.
+  const index_t n = 50;
+  std::vector<Triplet> t;
+  for (index_t i = 0; i < n; ++i) {
+    t.push_back({i, i, 4.0});
+    if (i > 0) {
+      t.push_back({i, i - 1, -1.0});
+      t.push_back({i - 1, i, -1.0});
+    }
+  }
+  const CsrMatrix a = CsrMatrix::fromTriplets(n, n, t);
+  const auto result = incompleteCholesky(a);
+  const CsrMatrix& l = result.lower;
+  // Verify (L L^T)(i, j) == A(i, j) on the pattern.
+  for (index_t i = 0; i < n; ++i) {
+    for (const index_t j : a.rowCols(i)) {
+      if (j > i) continue;
+      double dot = 0.0;
+      for (index_t k = 0; k <= j; ++k) dot += l.at(i, k) * l.at(j, k);
+      EXPECT_NEAR(dot, a.at(i, j), 1e-12) << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(Ic0, GridLaplacianFactorIsUsable) {
+  const CsrMatrix a = datagen::grid2dLaplacian5(20, 20);
+  const auto result = incompleteCholesky(a);
+  EXPECT_TRUE(result.lower.isLowerTriangular());
+  EXPECT_TRUE(result.lower.hasFullDiagonal());
+  EXPECT_EQ(result.lower.nnz(), a.lowerTriangle().nnz());
+  for (const double d : result.lower.diagonal()) EXPECT_GT(d, 0.0);
+}
+
+TEST(Ic0, ShiftRecoveryOnIndefiniteDiagonal) {
+  // A matrix that is not positive definite triggers the shift path.
+  std::vector<Triplet> t = {{0, 0, 1.0},  {1, 0, 2.0}, {0, 1, 2.0},
+                            {1, 1, 1.0}};  // eigenvalues -1 and 3
+  const CsrMatrix a = CsrMatrix::fromTriplets(2, 2, t);
+  const auto result = incompleteCholesky(a);
+  EXPECT_GT(result.retries, 0);
+  EXPECT_GT(result.applied_shift, 0.0);
+  for (const double d : result.lower.diagonal()) EXPECT_GT(d, 0.0);
+}
+
+TEST(Ic0, RejectsMissingDiagonal) {
+  const std::vector<Triplet> t = {{1, 0, 1.0}, {0, 0, 1.0}};
+  const CsrMatrix a = CsrMatrix::fromTriplets(2, 2, t);
+  EXPECT_THROW(incompleteCholesky(a), std::invalid_argument);
+}
+
+TEST(AdjacencyGraph, SymmetrizesAndDropsDiagonal) {
+  const std::vector<Triplet> t = {{0, 0, 1.0}, {1, 0, 1.0}, {2, 2, 1.0},
+                                  {0, 2, 1.0}};
+  const CsrMatrix a = CsrMatrix::fromTriplets(3, 3, t);
+  const auto g = AdjacencyGraph::fromMatrixPattern(a);
+  EXPECT_EQ(g.degree(0), 2);  // neighbors 1 (mirrored) and 2
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.degree(2), 1);
+}
+
+TEST(Rcm, ReducesBandwidthOnShuffledGrid) {
+  const CsrMatrix a = datagen::grid2dLaplacian5(16, 16);
+  const auto shuffle = randomOrdering(a.rows(), 123);
+  const CsrMatrix shuffled = a.symmetricPermuted(shuffle);
+  const auto rcm = reverseCuthillMcKee(shuffled);
+  ASSERT_TRUE(isPermutation(rcm));
+  const CsrMatrix restored = shuffled.symmetricPermuted(rcm);
+  EXPECT_LT(matrixBandwidth(restored), matrixBandwidth(shuffled) / 2);
+}
+
+TEST(Rcm, HandlesDisconnectedGraph) {
+  // Two disjoint chains.
+  std::vector<Triplet> t;
+  for (index_t i = 0; i < 6; ++i) t.push_back({i, i, 1.0});
+  t.push_back({1, 0, 1.0});
+  t.push_back({0, 1, 1.0});
+  t.push_back({4, 3, 1.0});
+  t.push_back({3, 4, 1.0});
+  const CsrMatrix a = CsrMatrix::fromTriplets(6, 6, t);
+  const auto p = reverseCuthillMcKee(a);
+  EXPECT_TRUE(isPermutation(p));
+}
+
+TEST(NestedDissection, ProducesPermutation) {
+  const CsrMatrix a = datagen::grid2dLaplacian5(24, 24);
+  const auto nd = nestedDissection(a);
+  EXPECT_TRUE(isPermutation(nd));
+}
+
+TEST(NestedDissection, ScattersLocality) {
+  // ND increases bandwidth relative to the natural grid ordering — that is
+  // the defining property of the METIS data set (§6.2.2).
+  const CsrMatrix a = datagen::grid2dLaplacian5(32, 32);
+  const auto nd = nestedDissection(a);
+  const CsrMatrix permuted = a.symmetricPermuted(nd);
+  EXPECT_GT(matrixBandwidth(permuted), matrixBandwidth(a));
+}
+
+TEST(NestedDissection, SmallGraphFallsBackGracefully) {
+  const CsrMatrix a = datagen::grid2dLaplacian5(3, 3);
+  const auto nd = nestedDissection(a);
+  EXPECT_TRUE(isPermutation(nd));
+}
+
+TEST(RandomOrdering, DeterministicPermutation) {
+  const auto a = randomOrdering(100, 7);
+  const auto b = randomOrdering(100, 7);
+  const auto c = randomOrdering(100, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(isPermutation(a));
+}
+
+TEST(MatrixBandwidth, KnownValues) {
+  EXPECT_EQ(matrixBandwidth(CsrMatrix::identity(5)), 0);
+  const std::vector<Triplet> t = {{0, 0, 1.0}, {3, 0, 1.0}, {3, 3, 1.0}};
+  EXPECT_EQ(matrixBandwidth(CsrMatrix::fromTriplets(4, 4, t)), 3);
+}
+
+}  // namespace
+}  // namespace sts::sparse

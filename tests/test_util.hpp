@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datagen/grids.hpp"
+#include "datagen/random_matrices.hpp"
+#include "sparse/csr.hpp"
+
+/// \file test_util.hpp
+/// Shared fixtures: a small zoo of lower triangular matrices covering the
+/// structural extremes the schedulers must handle (chains, diagonals, dense
+/// rows, random, grid-based).
+
+namespace sts::testutil {
+
+using sparse::CsrMatrix;
+
+struct NamedMatrix {
+  std::string name;
+  CsrMatrix lower;
+};
+
+/// Matrices for property sweeps: every entry is lower triangular with a
+/// full nonzero diagonal.
+inline std::vector<NamedMatrix> lowerTriangularZoo() {
+  using namespace datagen;
+  std::vector<NamedMatrix> zoo;
+  zoo.push_back({"single", diagonalMatrix(1)});
+  zoo.push_back({"diag_64", diagonalMatrix(64)});
+  zoo.push_back({"chain_100", chainLower(100)});
+  zoo.push_back({"dense_40", denseLower(40)});
+  zoo.push_back({"er_500_sparse",
+                 erdosRenyiLower({.n = 500, .p = 2e-3, .seed = 42})});
+  zoo.push_back({"er_500_dense",
+                 erdosRenyiLower({.n = 500, .p = 2e-2, .seed = 43})});
+  zoo.push_back({"nb_600", narrowBandLower({.n = 600, .p = 0.14, .b = 10.0,
+                                            .seed = 44})});
+  zoo.push_back({"banded_400", bandedLower(400, 12, 0.5, 45)});
+  zoo.push_back({"grid2d_16x24",
+                 grid2dLaplacian5(16, 24).lowerTriangle()});
+  zoo.push_back({"grid3d_8",
+                 grid3dLaplacian7(8, 8, 8).lowerTriangle()});
+  zoo.push_back({"grid2d9_12x12",
+                 grid2dLaplacian9(12, 12).lowerTriangle()});
+  return zoo;
+}
+
+}  // namespace sts::testutil
