@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "exec/solver.hpp"
+
+/// \file context_pool.hpp
+/// Free list of SolveContexts for one registered solver. Acquiring leases
+/// a context for exactly one solve (the SolveContext reentrancy contract);
+/// the pool grows on demand, so N concurrent batches simply end up with N
+/// pooled contexts that are reused once the burst subsides. Contexts keep
+/// their lazily grown scratch/flag allocations across reuses, which is the
+/// point: steady-state serving does no per-solve allocation beyond the
+/// request/result vectors themselves.
+
+namespace sts::engine {
+
+class ContextPool {
+ public:
+  explicit ContextPool(const exec::TriangularSolver& solver)
+      : solver_(solver) {}
+
+  /// RAII lease; returns the context to the pool on destruction.
+  class Lease {
+   public:
+    Lease(ContextPool& pool, std::unique_ptr<exec::SolveContext> ctx)
+        : pool_(&pool), ctx_(std::move(ctx)) {}
+    ~Lease() {
+      if (ctx_) pool_->release(std::move(ctx_));
+    }
+    Lease(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    exec::SolveContext& context() { return *ctx_; }
+
+   private:
+    ContextPool* pool_;
+    std::unique_ptr<exec::SolveContext> ctx_;
+  };
+
+  Lease acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        auto ctx = std::move(free_.back());
+        free_.pop_back();
+        return Lease(*this, std::move(ctx));
+      }
+    }
+    return Lease(*this, solver_.createContext());
+  }
+
+  std::size_t pooled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  void release(std::unique_ptr<exec::SolveContext> ctx) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(ctx));
+  }
+
+  const exec::TriangularSolver& solver_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<exec::SolveContext>> free_;
+};
+
+}  // namespace sts::engine

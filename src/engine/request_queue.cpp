@@ -1,0 +1,74 @@
+#include "engine/request_queue.hpp"
+
+namespace sts::engine {
+
+bool RequestQueue::push(SolveRequest&& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::vector<SolveRequest> RequestQueue::popBatch(sts::index_t max_rhs,
+                                                 bool coalesce) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    // A closed queue ignores pause so shutdown always drains.
+    return closed_ ? true : (!paused_ && !queue_.empty());
+  });
+  if (queue_.empty()) return {};  // closed and drained
+
+  std::vector<SolveRequest> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  if (coalesce && batch.front().nrhs == 1) {
+    const SolverId solver = batch.front().solver;
+    sts::index_t rhs = 1;
+    for (auto it = queue_.begin(); it != queue_.end() && rhs < max_rhs;) {
+      if (it->solver == solver && it->nrhs == 1) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+        ++rhs;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return batch;
+}
+
+void RequestQueue::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void RequestQueue::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace sts::engine

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "engine/types.hpp"
+
+/// \file request_queue.hpp
+/// The engine's submission queue. Lock-light by construction: the single
+/// mutex is held only to move request records in or out (no allocation of
+/// RHS data, no solving, no promise fulfillment happens under it), so the
+/// critical sections are a few pointer moves long. Workers pop *batches*:
+/// the head request plus — when coalescing is on — every other queued
+/// single-RHS request for the same solver, up to a column budget. That is
+/// where the serving throughput comes from: one schedule traversal then
+/// serves the whole batch.
+
+namespace sts::engine {
+
+class RequestQueue {
+ public:
+  /// Enqueue and wake one worker. Returns false iff the queue was closed
+  /// (the request is left untouched so the caller can fail it).
+  bool push(SolveRequest&& request);
+
+  /// Blocks until a request is available (and the queue is not paused) or
+  /// the queue is closed and empty — then returns an empty vector, the
+  /// worker-shutdown signal. Otherwise returns the head request plus, when
+  /// `coalesce`, all other queued nrhs==1 requests for the same solver
+  /// until the batch reaches `max_rhs` columns (FIFO order preserved;
+  /// requests for other solvers are left in place).
+  std::vector<SolveRequest> popBatch(sts::index_t max_rhs, bool coalesce);
+
+  /// Stop dispatch: popBatch blocks even when requests are queued.
+  void pause();
+  /// Resume dispatch and wake all workers.
+  void resume();
+
+  /// Closing is one-way; queued requests still drain through popBatch.
+  void close();
+  bool closed() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<SolveRequest> queue_;
+  bool paused_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace sts::engine

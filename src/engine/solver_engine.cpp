@@ -1,0 +1,252 @@
+#include "engine/solver_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "harness/stats.hpp"
+
+namespace sts::engine {
+
+namespace {
+/// Latency ring-buffer capacity: quantiles are computed over the most
+/// recent this-many completions, so a long-lived server's p50/p95 track
+/// current behavior instead of freezing at warm-up values.
+constexpr std::size_t kMaxLatencySamples = 1 << 16;
+}  // namespace
+
+SolverEngine::SolverEngine(EngineOptions options) : options_(options) {
+  if (options_.num_workers <= 0) {
+    throw std::invalid_argument("SolverEngine: num_workers must be > 0");
+  }
+  if (options_.max_batch <= 0) {
+    throw std::invalid_argument("SolverEngine: max_batch must be > 0");
+  }
+  if (options_.start_paused) queue_.pause();
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+SolverEngine::~SolverEngine() { shutdown(); }
+
+SolverId SolverEngine::registerSolver(
+    std::shared_ptr<const exec::TriangularSolver> solver) {
+  if (!solver) {
+    throw std::invalid_argument("SolverEngine::registerSolver: null solver");
+  }
+  auto reg = std::make_unique<Registered>();
+  reg->contexts = std::make_unique<ContextPool>(*solver);
+  reg->solver = std::move(solver);
+  std::lock_guard<std::mutex> lock(solvers_mu_);
+  solvers_.push_back(std::move(reg));
+  return static_cast<SolverId>(solvers_.size() - 1);
+}
+
+SolverEngine::Registered& SolverEngine::registered(SolverId id) const {
+  std::lock_guard<std::mutex> lock(solvers_mu_);
+  if (static_cast<std::size_t>(id) >= solvers_.size()) {
+    throw std::invalid_argument("SolverEngine: unknown solver id");
+  }
+  return *solvers_[static_cast<std::size_t>(id)];
+}
+
+std::future<std::vector<double>> SolverEngine::enqueue(SolverId id,
+                                                       std::vector<double> b,
+                                                       sts::index_t nrhs) {
+  Registered& reg = registered(id);
+  const auto n = static_cast<std::size_t>(reg.solver->numRows());
+  if (nrhs <= 0 || b.size() != n * static_cast<std::size_t>(nrhs)) {
+    throw std::invalid_argument("SolverEngine::submit: rhs size mismatch");
+  }
+  SolveRequest request;
+  request.solver = id;
+  request.nrhs = nrhs;
+  request.b = std::move(b);
+  request.submitted = std::chrono::steady_clock::now();
+  const auto submitted = request.submitted;
+  auto future = request.promise.get_future();
+
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (!queue_.push(std::move(request))) {
+    noteRetired(1);  // plain fetch_sub here could strand a drain() waiter
+    throw std::runtime_error("SolverEngine: submit after shutdown");
+  }
+  // Stats count accepted submissions only, hence after the push. A worker
+  // may finish the request before this runs; the counters are monotonic
+  // and `submitted` was captured pre-push, so nothing skews.
+  {
+    std::lock_guard<std::mutex> lock(reg.stats_mu);
+    reg.requests += 1;
+    reg.rhs_submitted += static_cast<std::uint64_t>(nrhs);
+    if (!reg.saw_submit) {
+      reg.first_submit = submitted;
+      reg.saw_submit = true;
+    }
+  }
+  return future;
+}
+
+std::future<std::vector<double>> SolverEngine::submit(SolverId id,
+                                                      std::vector<double> b) {
+  return enqueue(id, std::move(b), 1);
+}
+
+std::future<std::vector<double>> SolverEngine::submitMulti(
+    SolverId id, std::vector<double> b, sts::index_t nrhs) {
+  return enqueue(id, std::move(b), nrhs);
+}
+
+void SolverEngine::pause() { queue_.pause(); }
+
+void SolverEngine::resume() { queue_.resume(); }
+
+void SolverEngine::drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void SolverEngine::shutdown() {
+  if (stopped_.exchange(true)) return;
+  queue_.close();  // close ignores pause, so queued work still drains
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void SolverEngine::workerLoop() {
+  for (;;) {
+    auto batch = queue_.popBatch(options_.max_batch, options_.coalesce);
+    if (batch.empty()) return;  // closed and drained
+    executeBatch(batch);
+    noteRetired(static_cast<std::int64_t>(batch.size()));
+  }
+}
+
+void SolverEngine::noteRetired(std::int64_t count) {
+  const auto prev = in_flight_.fetch_sub(count, std::memory_order_acq_rel);
+  if (prev == count) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+void SolverEngine::executeBatch(std::vector<SolveRequest>& batch) {
+  Registered& reg = registered(batch.front().solver);
+  const exec::TriangularSolver& solver = *reg.solver;
+  const auto n = static_cast<std::size_t>(solver.numRows());
+  const std::size_t k = batch.size();
+
+  std::vector<std::vector<double>> results;
+  std::exception_ptr error;
+  const auto t0 = std::chrono::steady_clock::now();
+  sts::index_t total_rhs = 0;
+  try {
+    auto lease = reg.contexts->acquire();
+    if (k == 1) {
+      SolveRequest& request = batch.front();
+      total_rhs = request.nrhs;
+      std::vector<double> x(request.b.size());
+      if (request.nrhs == 1) {
+        solver.solve(request.b, x, lease.context());
+      } else {
+        solver.solveMultiRhs(request.b, x, request.nrhs, lease.context());
+      }
+      results.push_back(std::move(x));
+    } else {
+      // Coalesced batch: k single-RHS requests become the k columns of one
+      // row-major n x k SpTRSM — one schedule traversal for all of them.
+      total_rhs = static_cast<sts::index_t>(k);
+      std::vector<double> b_packed(n * k);
+      std::vector<double> x_packed(n * k);
+      for (std::size_t j = 0; j < k; ++j) {
+        const auto& b = batch[j].b;
+        for (std::size_t i = 0; i < n; ++i) b_packed[i * k + j] = b[i];
+      }
+      solver.solveMultiRhs(b_packed, x_packed,
+                           static_cast<sts::index_t>(k), lease.context());
+      results.resize(k);
+      for (std::size_t j = 0; j < k; ++j) {
+        auto& x = results[j];
+        x.resize(n);
+        for (std::size_t i = 0; i < n; ++i) x[i] = x_packed[i * k + j];
+      }
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  for (std::size_t j = 0; j < k; ++j) {
+    if (error) {
+      batch[j].promise.set_exception(error);
+    } else {
+      batch[j].promise.set_value(std::move(results[j]));
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(reg.stats_mu);
+  reg.batches += 1;
+  reg.busy_seconds += std::chrono::duration<double>(t1 - t0).count();
+  reg.last_complete = t1;
+  reg.saw_complete = true;
+  if (error) {
+    reg.batches_failed += 1;
+  } else {
+    reg.rhs_solved += static_cast<std::uint64_t>(total_rhs);
+    if (k > 1) reg.coalesced_rhs += static_cast<std::uint64_t>(k);
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    const double latency =
+        std::chrono::duration<double>(t1 - batch[j].submitted).count();
+    if (reg.latency_samples.size() < kMaxLatencySamples) {
+      reg.latency_samples.push_back(latency);
+    } else {
+      reg.latency_samples[reg.latency_next] = latency;
+    }
+    reg.latency_next = (reg.latency_next + 1) % kMaxLatencySamples;
+  }
+}
+
+SolverServingStats SolverEngine::stats(SolverId id) const {
+  Registered& reg = registered(id);
+  std::lock_guard<std::mutex> lock(reg.stats_mu);
+  SolverServingStats out;
+  out.requests = reg.requests;
+  out.rhs_submitted = reg.rhs_submitted;
+  out.batches = reg.batches;
+  out.batches_failed = reg.batches_failed;
+  out.rhs_solved = reg.rhs_solved;
+  out.coalesced_rhs = reg.coalesced_rhs;
+  out.busy_seconds = reg.busy_seconds;
+  if (reg.batches > reg.batches_failed) {
+    // Mean realized batch size over *successful* batches only — rhs_solved
+    // excludes failed batches, so the populations must match.
+    out.mean_batch_rhs =
+        static_cast<double>(reg.rhs_solved) /
+        static_cast<double>(reg.batches - reg.batches_failed);
+  }
+  if (!reg.latency_samples.empty()) {
+    out.latency_p50_seconds = harness::quantile(reg.latency_samples, 0.5);
+    out.latency_p95_seconds = harness::quantile(reg.latency_samples, 0.95);
+  }
+  if (reg.saw_submit && reg.saw_complete) {
+    const double window =
+        std::chrono::duration<double>(reg.last_complete - reg.first_submit)
+            .count();
+    if (window > 0.0) {
+      out.throughput_rhs_per_second =
+          static_cast<double>(reg.rhs_solved) / window;
+    }
+  }
+  return out;
+}
+
+const exec::TriangularSolver& SolverEngine::solver(SolverId id) const {
+  return *registered(id).solver;
+}
+
+}  // namespace sts::engine

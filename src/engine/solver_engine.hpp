@@ -1,0 +1,139 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/context_pool.hpp"
+#include "engine/request_queue.hpp"
+#include "engine/types.hpp"
+#include "exec/solver.hpp"
+
+/// \file solver_engine.hpp
+/// The batched request-serving subsystem: turns analyzed TriangularSolvers
+/// into a concurrent solve service — the analyze-once / solve-many premise
+/// (§1) promoted from a library call to a long-lived server, in the spirit
+/// of treating the executor as a service whose execution adapts to load.
+///
+///   engine::SolverEngine engine({.num_workers = 2, .max_batch = 16});
+///   const auto id = engine.registerSolver(
+///       std::make_shared<const exec::TriangularSolver>(
+///           exec::TriangularSolver::analyze(L)));
+///   auto future = engine.submit(id, b);        // b in original ordering
+///   std::vector<double> x = future.get();
+///
+/// Design:
+///  * A persistent pool of `num_workers` dispatcher threads drains a
+///    lock-light RequestQueue; each batch execution runs the solver's own
+///    OpenMP team, so distinct workers can solve concurrently against the
+///    same analyzed schedule.
+///  * Compatible queued single-RHS requests for one solver coalesce into a
+///    single solveMultiRhs batch of up to `max_batch` columns: one
+///    schedule traversal — one barrier crossing per superstep — serves the
+///    whole batch (the Table 7.7 block-parallel amortization applied to
+///    serving). Column results are bitwise equal to individual solve()
+///    calls, so coalescing is invisible to clients.
+///  * Reentrancy comes from the SolveContext contract (solve_context.hpp):
+///    every in-flight batch leases a context from a per-solver
+///    ContextPool; the solver itself is shared immutable state.
+///  * Per-solver throughput/latency statistics aggregate via the
+///    harness::stats quantile helpers (SolverServingStats).
+
+namespace sts::engine {
+
+class SolverEngine {
+ public:
+  explicit SolverEngine(EngineOptions options = {});
+  /// Drains outstanding work, then stops the workers.
+  ~SolverEngine();
+
+  SolverEngine(const SolverEngine&) = delete;
+  SolverEngine& operator=(const SolverEngine&) = delete;
+
+  /// Registers an analyzed solver for serving. The engine shares ownership;
+  /// callers may keep using the solver directly (context overloads only, if
+  /// concurrent with serving). Thread-safe.
+  SolverId registerSolver(std::shared_ptr<const exec::TriangularSolver> solver);
+
+  /// Queue x = T^{-1} b (original row ordering). Throws std::invalid_argument
+  /// on size mismatch or unknown id, std::runtime_error after shutdown.
+  std::future<std::vector<double>> submit(SolverId id, std::vector<double> b);
+
+  /// Queue an explicit multi-RHS solve, b row-major n x nrhs; the future
+  /// carries x in the same layout. Multi-RHS requests are never coalesced
+  /// with others — they already amortize internally.
+  std::future<std::vector<double>> submitMulti(SolverId id,
+                                               std::vector<double> b,
+                                               sts::index_t nrhs);
+
+  /// Pause/resume dispatch (submissions still enqueue while paused).
+  void pause();
+  void resume();
+
+  /// Blocks until every accepted submission has completed. Do not call
+  /// concurrently with pause(); a paused engine cannot drain.
+  void drain();
+
+  /// Drains, then joins the workers. Idempotent; implied by destruction.
+  /// Subsequent submissions throw.
+  void shutdown();
+
+  /// Snapshot of one solver's serving statistics. Thread-safe.
+  SolverServingStats stats(SolverId id) const;
+
+  const exec::TriangularSolver& solver(SolverId id) const;
+  int numWorkers() const { return static_cast<int>(workers_.size()); }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Registered {
+    std::shared_ptr<const exec::TriangularSolver> solver;
+    std::unique_ptr<ContextPool> contexts;
+
+    mutable std::mutex stats_mu;
+    std::uint64_t requests = 0;
+    std::uint64_t rhs_submitted = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batches_failed = 0;
+    std::uint64_t rhs_solved = 0;
+    std::uint64_t coalesced_rhs = 0;
+    double busy_seconds = 0.0;
+    /// Ring buffer of recent request latencies in seconds (quantiles track
+    /// the last kMaxLatencySamples completions, not server birth).
+    std::vector<double> latency_samples;
+    std::size_t latency_next = 0;
+    std::chrono::steady_clock::time_point first_submit{};
+    std::chrono::steady_clock::time_point last_complete{};
+    bool saw_submit = false;
+    bool saw_complete = false;
+  };
+
+  void workerLoop();
+  void executeBatch(std::vector<SolveRequest>& batch);
+  /// Retires `count` in-flight submissions; wakes drain() on zero. Every
+  /// in_flight_ decrement must go through here or drain() can sleep
+  /// through the last completion.
+  void noteRetired(std::int64_t count);
+  Registered& registered(SolverId id) const;
+  std::future<std::vector<double>> enqueue(SolverId id, std::vector<double> b,
+                                           sts::index_t nrhs);
+
+  EngineOptions options_;
+  RequestQueue queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex solvers_mu_;
+  std::vector<std::unique_ptr<Registered>> solvers_;
+
+  /// Accepted-but-incomplete submissions; drain() waits for zero.
+  std::atomic<std::int64_t> in_flight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace sts::engine

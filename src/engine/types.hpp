@@ -1,0 +1,66 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+/// \file types.hpp
+/// Shared vocabulary of the serving subsystem: solver handles, engine
+/// configuration, the internal request record, and the per-solver serving
+/// statistics snapshot.
+
+namespace sts::engine {
+
+/// Handle returned by SolverEngine::registerSolver; indexes are dense and
+/// never recycled for the engine's lifetime.
+using SolverId = std::uint32_t;
+
+struct EngineOptions {
+  /// Persistent dispatcher threads executing batches. Each concurrent
+  /// batch additionally spins up the solver's own OpenMP team, so the
+  /// total thread footprint is num_workers * solver num_threads.
+  int num_workers = 2;
+  /// Maximum right-hand sides coalesced into one solveMultiRhs call. The
+  /// batch amortizes every superstep barrier across its columns (the
+  /// Table 7.7 block-parallel effect applied to serving).
+  sts::index_t max_batch = 8;
+  /// Coalesce compatible queued single-RHS requests into batches. When
+  /// false every request executes alone (useful to force per-request
+  /// concurrency in stress tests).
+  bool coalesce = true;
+  /// Start with dispatch paused; submissions queue up until resume().
+  /// Lets benchmarks and tests stage a backlog deterministically.
+  bool start_paused = false;
+};
+
+/// One queued solve. `b` is row-major n x nrhs in the ORIGINAL row
+/// ordering; the fulfilled future carries x in the same layout.
+struct SolveRequest {
+  SolverId solver = 0;
+  sts::index_t nrhs = 1;
+  std::vector<double> b;
+  std::promise<std::vector<double>> promise;
+  std::chrono::steady_clock::time_point submitted{};
+};
+
+/// Per-solver serving statistics (SolverEngine::stats snapshot).
+struct SolverServingStats {
+  std::uint64_t requests = 0;        ///< submissions accepted
+  std::uint64_t rhs_submitted = 0;   ///< total RHS columns submitted
+  std::uint64_t batches = 0;         ///< executor invocations
+  std::uint64_t batches_failed = 0;  ///< invocations that threw
+  std::uint64_t rhs_solved = 0;      ///< total RHS columns completed
+  double mean_batch_rhs = 0.0;       ///< rhs_solved / successful batches
+  std::uint64_t coalesced_rhs = 0;   ///< RHS solved in multi-request batches
+  double busy_seconds = 0.0;         ///< summed batch execution time
+  double latency_p50_seconds = 0.0;  ///< request submit -> completion
+  double latency_p95_seconds = 0.0;
+  /// rhs_solved / (last completion - first submission); 0 until the first
+  /// batch completes.
+  double throughput_rhs_per_second = 0.0;
+};
+
+}  // namespace sts::engine

@@ -4,34 +4,20 @@
 
 #include <stdexcept>
 
+#include "exec/row_kernels.hpp"
 #include "exec/serial.hpp"
 
 namespace sts::exec {
 
-namespace {
-
-/// One substitution step; the diagonal is the last entry of the row.
-inline void computeRow(std::span<const offset_t> row_ptr,
-                       std::span<const index_t> col_idx,
-                       std::span<const double> values,
-                       std::span<const double> b, std::span<double> x,
-                       index_t i) {
-  const auto begin = static_cast<size_t>(row_ptr[static_cast<size_t>(i)]);
-  const auto diag = static_cast<size_t>(row_ptr[static_cast<size_t>(i) + 1]) - 1;
-  double acc = b[static_cast<size_t>(i)];
-  for (size_t k = begin; k < diag; ++k) {
-    acc -= values[k] * x[static_cast<size_t>(col_idx[k])];
-  }
-  x[static_cast<size_t>(i)] = acc / values[diag];
-}
-
-}  // namespace
+using detail::computeRow;
+using detail::computeRowMulti;
+using detail::requireVectorSizes;
 
 BspExecutor::BspExecutor(const CsrMatrix& lower, const Schedule& schedule)
     : lower_(lower),
       num_threads_(schedule.numCores()),
       num_supersteps_(schedule.numSupersteps()),
-      barrier_(schedule.numCores()) {
+      default_ctx_(schedule.numCores(), lower.rows()) {
   requireSolvableLower(lower);
   if (schedule.numVertices() != lower.rows()) {
     throw std::invalid_argument("BspExecutor: schedule/matrix size mismatch");
@@ -50,22 +36,22 @@ BspExecutor::BspExecutor(const CsrMatrix& lower, const Schedule& schedule)
   }
 }
 
-void BspExecutor::solve(std::span<const double> b, std::span<double> x) const {
-  if (static_cast<index_t>(b.size()) != lower_.rows() ||
-      static_cast<index_t>(x.size()) != lower_.rows()) {
-    throw std::invalid_argument("BspExecutor::solve: vector size mismatch");
-  }
+void BspExecutor::solve(std::span<const double> b, std::span<double> x,
+                        SolveContext& ctx) const {
+  requireVectorSizes(lower_, b, x, 1, "BspExecutor::solve");
+  ctx.requireShape(num_threads_, lower_.rows(), "BspExecutor::solve");
   const auto row_ptr = lower_.rowPtr();
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
   const index_t steps = num_supersteps_;
   const bool sync = num_threads_ > 1;
+  SpinBarrier& barrier = ctx.barrier_;
 
   omp_set_dynamic(0);
 #pragma omp parallel num_threads(num_threads_)
   {
     const int t = omp_get_thread_num();
-    int sense = barrier_.initialSense();
+    int sense = barrier.initialSense();
     const auto& verts = thread_verts_[static_cast<size_t>(t)];
     const auto& ptr = thread_step_ptr_[static_cast<size_t>(t)];
     for (index_t s = 0; s < steps; ++s) {
@@ -74,53 +60,49 @@ void BspExecutor::solve(std::span<const double> b, std::span<double> x) const {
       for (size_t k = begin; k < end; ++k) {
         computeRow(row_ptr, col_idx, values, b, x, verts[k]);
       }
-      if (sync) barrier_.wait(sense);
+      if (sync) barrier.wait(sense);
     }
   }
 }
 
+void BspExecutor::solve(std::span<const double> b, std::span<double> x) const {
+  solve(b, x, default_ctx_);
+}
+
 void BspExecutor::solveMultiRhs(std::span<const double> b,
-                                std::span<double> x, index_t nrhs) const {
-  const auto n = static_cast<size_t>(lower_.rows());
-  if (nrhs <= 0 || b.size() != n * static_cast<size_t>(nrhs) ||
-      x.size() != b.size()) {
-    throw std::invalid_argument("BspExecutor::solveMultiRhs: size mismatch");
-  }
+                                std::span<double> x, index_t nrhs,
+                                SolveContext& ctx) const {
+  requireVectorSizes(lower_, b, x, nrhs, "BspExecutor::solveMultiRhs");
+  ctx.requireShape(num_threads_, lower_.rows(), "BspExecutor::solveMultiRhs");
   const auto row_ptr = lower_.rowPtr();
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
   const index_t steps = num_supersteps_;
   const bool sync = num_threads_ > 1;
   const auto r = static_cast<size_t>(nrhs);
+  SpinBarrier& barrier = ctx.barrier_;
 
   omp_set_dynamic(0);
 #pragma omp parallel num_threads(num_threads_)
   {
     const int t = omp_get_thread_num();
-    int sense = barrier_.initialSense();
+    int sense = barrier.initialSense();
     const auto& verts = thread_verts_[static_cast<size_t>(t)];
     const auto& ptr = thread_step_ptr_[static_cast<size_t>(t)];
     for (index_t s = 0; s < steps; ++s) {
       const auto begin = static_cast<size_t>(ptr[static_cast<size_t>(s)]);
       const auto end = static_cast<size_t>(ptr[static_cast<size_t>(s) + 1]);
       for (size_t k = begin; k < end; ++k) {
-        const auto i = static_cast<size_t>(verts[k]);
-        const auto row_begin = static_cast<size_t>(row_ptr[i]);
-        const auto diag = static_cast<size_t>(row_ptr[i + 1]) - 1;
-        double* xi = x.data() + i * r;
-        const double* bi = b.data() + i * r;
-        for (size_t c = 0; c < r; ++c) xi[c] = bi[c];
-        for (size_t e = row_begin; e < diag; ++e) {
-          const double a = values[e];
-          const double* xj = x.data() + static_cast<size_t>(col_idx[e]) * r;
-          for (size_t c = 0; c < r; ++c) xi[c] -= a * xj[c];
-        }
-        const double d = values[diag];
-        for (size_t c = 0; c < r; ++c) xi[c] /= d;
+        computeRowMulti(row_ptr, col_idx, values, b, x, verts[k], r);
       }
-      if (sync) barrier_.wait(sense);
+      if (sync) barrier.wait(sense);
     }
   }
+}
+
+void BspExecutor::solveMultiRhs(std::span<const double> b,
+                                std::span<double> x, index_t nrhs) const {
+  solveMultiRhs(b, x, nrhs, default_ctx_);
 }
 
 ContiguousBspExecutor::ContiguousBspExecutor(const CsrMatrix& permuted_lower,
@@ -131,7 +113,7 @@ ContiguousBspExecutor::ContiguousBspExecutor(const CsrMatrix& permuted_lower,
       num_supersteps_(num_supersteps),
       num_threads_(num_cores),
       group_ptr_(std::move(group_ptr)),
-      barrier_(num_cores) {
+      default_ctx_(num_cores, permuted_lower.rows()) {
   requireSolvableLower(permuted_lower);
   const size_t groups = static_cast<size_t>(num_supersteps) *
                         static_cast<size_t>(num_cores);
@@ -142,24 +124,24 @@ ContiguousBspExecutor::ContiguousBspExecutor(const CsrMatrix& permuted_lower,
 }
 
 void ContiguousBspExecutor::solve(std::span<const double> b,
-                                  std::span<double> x) const {
-  if (static_cast<index_t>(b.size()) != lower_.rows() ||
-      static_cast<index_t>(x.size()) != lower_.rows()) {
-    throw std::invalid_argument(
-        "ContiguousBspExecutor::solve: vector size mismatch");
-  }
+                                  std::span<double> x,
+                                  SolveContext& ctx) const {
+  requireVectorSizes(lower_, b, x, 1, "ContiguousBspExecutor::solve");
+  ctx.requireShape(num_threads_, lower_.rows(),
+                   "ContiguousBspExecutor::solve");
   const auto row_ptr = lower_.rowPtr();
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
   const index_t steps = num_supersteps_;
   const int cores = num_threads_;
   const bool sync = cores > 1;
+  SpinBarrier& barrier = ctx.barrier_;
 
   omp_set_dynamic(0);
 #pragma omp parallel num_threads(cores)
   {
     const int t = omp_get_thread_num();
-    int sense = barrier_.initialSense();
+    int sense = barrier.initialSense();
     for (index_t s = 0; s < steps; ++s) {
       const size_t g = static_cast<size_t>(s) * static_cast<size_t>(cores) +
                        static_cast<size_t>(t);
@@ -168,9 +150,54 @@ void ContiguousBspExecutor::solve(std::span<const double> b,
       for (index_t i = lo; i < hi; ++i) {
         computeRow(row_ptr, col_idx, values, b, x, i);
       }
-      if (sync) barrier_.wait(sense);
+      if (sync) barrier.wait(sense);
     }
   }
+}
+
+void ContiguousBspExecutor::solve(std::span<const double> b,
+                                  std::span<double> x) const {
+  solve(b, x, default_ctx_);
+}
+
+void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
+                                          std::span<double> x, index_t nrhs,
+                                          SolveContext& ctx) const {
+  requireVectorSizes(lower_, b, x, nrhs,
+                     "ContiguousBspExecutor::solveMultiRhs");
+  ctx.requireShape(num_threads_, lower_.rows(),
+                   "ContiguousBspExecutor::solveMultiRhs");
+  const auto row_ptr = lower_.rowPtr();
+  const auto col_idx = lower_.colIdx();
+  const auto values = lower_.values();
+  const index_t steps = num_supersteps_;
+  const int cores = num_threads_;
+  const bool sync = cores > 1;
+  const auto r = static_cast<size_t>(nrhs);
+  SpinBarrier& barrier = ctx.barrier_;
+
+  omp_set_dynamic(0);
+#pragma omp parallel num_threads(cores)
+  {
+    const int t = omp_get_thread_num();
+    int sense = barrier.initialSense();
+    for (index_t s = 0; s < steps; ++s) {
+      const size_t g = static_cast<size_t>(s) * static_cast<size_t>(cores) +
+                       static_cast<size_t>(t);
+      const auto lo = static_cast<index_t>(group_ptr_[g]);
+      const auto hi = static_cast<index_t>(group_ptr_[g + 1]);
+      for (index_t i = lo; i < hi; ++i) {
+        computeRowMulti(row_ptr, col_idx, values, b, x, i, r);
+      }
+      if (sync) barrier.wait(sense);
+    }
+  }
+}
+
+void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
+                                          std::span<double> x,
+                                          index_t nrhs) const {
+  solveMultiRhs(b, x, nrhs, default_ctx_);
 }
 
 }  // namespace sts::exec

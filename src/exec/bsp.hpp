@@ -1,18 +1,25 @@
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/schedule.hpp"
-#include "exec/spin_barrier.hpp"
+#include "exec/solve_context.hpp"
 #include "sparse/csr.hpp"
 
 /// \file bsp.hpp
 /// Barrier-synchronous SpTRSV executor: runs a validated Schedule with one
 /// spin barrier per superstep boundary (the execution model of §2.2).
 /// The per-thread work lists are precomputed at construction so that the
-/// hot solve path touches only flat arrays. Executors are not reentrant:
-/// one solve at a time per instance (the barrier state is shared).
+/// hot solve path touches only flat arrays.
+///
+/// Reentrancy contract (see solve_context.hpp): executors are immutable
+/// after construction; the only per-solve mutable state is the superstep
+/// barrier, which lives in the SolveContext. The context-taking overloads
+/// are `const` and safe to call concurrently as long as every concurrent
+/// solve uses its own context. The context-free overloads run on a shared
+/// built-in context and therefore remain one-solve-at-a-time.
 
 namespace sts::exec {
 
@@ -29,13 +36,25 @@ class BspExecutor {
   /// matrix but not the schedule (O(V·E) validation is opt-in).
   BspExecutor(const CsrMatrix& lower, const Schedule& schedule);
 
-  /// x = L^{-1} b using `num_threads()` OpenMP threads.
+  /// x = L^{-1} b using `num_threads()` OpenMP threads; `ctx` carries the
+  /// superstep barrier. Concurrent solves need distinct contexts.
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx) const;
+  /// Convenience overload on the built-in context (one solve at a time).
   void solve(std::span<const double> b, std::span<double> x) const;
 
   /// SpTRSM: X = L^{-1} B, both n x nrhs row-major. The schedule is
-  /// RHS-count agnostic — each vertex simply carries nrhs times the work.
+  /// RHS-count agnostic — each vertex simply carries nrhs times the work,
+  /// so the barrier cost is amortized across the nrhs solves.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs) const;
+
+  /// A fresh context shaped for this executor.
+  std::unique_ptr<SolveContext> createContext() const {
+    return std::make_unique<SolveContext>(num_threads_, lower_.rows());
+  }
 
   int numThreads() const { return num_threads_; }
   index_t numSupersteps() const { return num_supersteps_; }
@@ -48,19 +67,34 @@ class BspExecutor {
   /// thread_verts_[t] with boundaries thread_step_ptr_[t][s].
   std::vector<std::vector<index_t>> thread_verts_;
   std::vector<std::vector<offset_t>> thread_step_ptr_;
-  mutable SpinBarrier barrier_;
+  /// Backs the context-free overloads; mutable per-solve state only.
+  mutable SolveContext default_ctx_;
 };
 
 /// Executor for the reordered problem (§5): every (superstep, core) group
 /// is a contiguous row range of the permuted matrix, so the work lists are
-/// just range boundaries — the best-locality configuration.
+/// just range boundaries — the best-locality configuration. Same
+/// reentrancy contract as BspExecutor.
 class ContiguousBspExecutor {
  public:
   ContiguousBspExecutor(const CsrMatrix& permuted_lower,
                         index_t num_supersteps, int num_cores,
                         std::vector<offset_t> group_ptr);
 
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx) const;
   void solve(std::span<const double> b, std::span<double> x) const;
+
+  /// SpTRSM over the contiguous row ranges: X = L^{-1} B, n x nrhs
+  /// row-major, one barrier per superstep regardless of nrhs.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx) const;
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs) const;
+
+  std::unique_ptr<SolveContext> createContext() const {
+    return std::make_unique<SolveContext>(num_threads_, lower_.rows());
+  }
 
   int numThreads() const { return num_threads_; }
   index_t numSupersteps() const { return num_supersteps_; }
@@ -70,7 +104,7 @@ class ContiguousBspExecutor {
   index_t num_supersteps_ = 0;
   int num_threads_ = 0;
   std::vector<offset_t> group_ptr_;
-  mutable SpinBarrier barrier_;
+  mutable SolveContext default_ctx_;
 };
 
 }  // namespace sts::exec

@@ -5,13 +5,16 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "exec/row_kernels.hpp"
 #include "exec/serial.hpp"
 
 namespace sts::exec {
 
 P2pExecutor::P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
                          const Dag& sync_dag)
-    : lower_(lower), num_threads_(schedule.numCores()) {
+    : lower_(lower),
+      num_threads_(schedule.numCores()),
+      default_ctx_(schedule.numCores(), lower.rows()) {
   requireSolvableLower(lower);
   const index_t n = lower.rows();
   if (schedule.numVertices() != n || sync_dag.numVertices() != n) {
@@ -49,24 +52,21 @@ P2pExecutor::P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
     }
   }
   cross_deps_ = wait_ptr_.back();
-
-  done_ = std::make_unique<std::atomic<std::uint32_t>[]>(
-      static_cast<size_t>(n));
-  for (index_t v = 0; v < n; ++v) {
-    done_[static_cast<size_t>(v)].store(0, std::memory_order_relaxed);
-  }
 }
 
-void P2pExecutor::solve(std::span<const double> b, std::span<double> x) {
-  if (static_cast<index_t>(b.size()) != lower_.rows() ||
-      static_cast<index_t>(x.size()) != lower_.rows()) {
-    throw std::invalid_argument("P2pExecutor::solve: vector size mismatch");
-  }
+void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
+                        SolveContext& ctx) const {
+  detail::requireVectorSizes(lower_, b, x, 1, "P2pExecutor::solve");
+  ctx.requireShape(num_threads_, lower_.rows(), "P2pExecutor::solve");
   const auto row_ptr = lower_.rowPtr();
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
-  const std::uint32_t epoch = ++epoch_;
+  const std::uint32_t epoch = ctx.beginP2pEpoch();
+  std::atomic<std::uint32_t>* const done = ctx.done_.get();
 
+  // A dynamically shrunk team would strand the spin-waits on vertices of
+  // the missing threads; pin the team size like the BSP paths do.
+  omp_set_dynamic(0);
 #pragma omp parallel num_threads(num_threads_)
   {
     const int t = omp_get_thread_num();
@@ -76,21 +76,55 @@ void P2pExecutor::solve(std::span<const double> b, std::span<double> x) {
       for (offset_t k = wait_ptr_[static_cast<size_t>(i)];
            k < wait_ptr_[static_cast<size_t>(i) + 1]; ++k) {
         const auto u = static_cast<size_t>(wait_adj_[static_cast<size_t>(k)]);
-        while (done_[u].load(std::memory_order_acquire) != epoch) {
+        while (done[u].load(std::memory_order_acquire) != epoch) {
           // spin: dependencies resolve within a few hundred cycles
         }
       }
-      const auto begin = static_cast<size_t>(row_ptr[static_cast<size_t>(i)]);
-      const auto diag =
-          static_cast<size_t>(row_ptr[static_cast<size_t>(i) + 1]) - 1;
-      double acc = b[static_cast<size_t>(i)];
-      for (size_t k = begin; k < diag; ++k) {
-        acc -= values[k] * x[static_cast<size_t>(col_idx[k])];
-      }
-      x[static_cast<size_t>(i)] = acc / values[diag];
-      done_[static_cast<size_t>(i)].store(epoch, std::memory_order_release);
+      detail::computeRow(row_ptr, col_idx, values, b, x, i);
+      done[static_cast<size_t>(i)].store(epoch, std::memory_order_release);
     }
   }
+}
+
+void P2pExecutor::solve(std::span<const double> b, std::span<double> x) const {
+  solve(b, x, default_ctx_);
+}
+
+void P2pExecutor::solveMultiRhs(std::span<const double> b,
+                                std::span<double> x, index_t nrhs,
+                                SolveContext& ctx) const {
+  detail::requireVectorSizes(lower_, b, x, nrhs, "P2pExecutor::solveMultiRhs");
+  ctx.requireShape(num_threads_, lower_.rows(), "P2pExecutor::solveMultiRhs");
+  const auto row_ptr = lower_.rowPtr();
+  const auto col_idx = lower_.colIdx();
+  const auto values = lower_.values();
+  const auto r = static_cast<size_t>(nrhs);
+  const std::uint32_t epoch = ctx.beginP2pEpoch();
+  std::atomic<std::uint32_t>* const done = ctx.done_.get();
+
+  // A dynamically shrunk team would strand the spin-waits on vertices of
+  // the missing threads; pin the team size like the BSP paths do.
+  omp_set_dynamic(0);
+#pragma omp parallel num_threads(num_threads_)
+  {
+    const int t = omp_get_thread_num();
+    const auto& verts = thread_verts_[static_cast<size_t>(t)];
+    for (const index_t i : verts) {
+      for (offset_t k = wait_ptr_[static_cast<size_t>(i)];
+           k < wait_ptr_[static_cast<size_t>(i) + 1]; ++k) {
+        const auto u = static_cast<size_t>(wait_adj_[static_cast<size_t>(k)]);
+        while (done[u].load(std::memory_order_acquire) != epoch) {
+        }
+      }
+      detail::computeRowMulti(row_ptr, col_idx, values, b, x, i, r);
+      done[static_cast<size_t>(i)].store(epoch, std::memory_order_release);
+    }
+  }
+}
+
+void P2pExecutor::solveMultiRhs(std::span<const double> b,
+                                std::span<double> x, index_t nrhs) const {
+  solveMultiRhs(b, x, nrhs, default_ctx_);
 }
 
 }  // namespace sts::exec

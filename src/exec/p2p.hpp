@@ -1,12 +1,12 @@
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "core/schedule.hpp"
 #include "dag/dag.hpp"
+#include "exec/solve_context.hpp"
 #include "sparse/csr.hpp"
 
 /// \file p2p.hpp
@@ -14,7 +14,15 @@
 /// no global barriers — each thread walks its own vertex list in level
 /// order and spin-waits only on the cross-thread parents that survive the
 /// approximate transitive reduction. Completion flags are epoch-stamped so
-/// that repeated solves need no O(n) reset.
+/// that repeated solves need no O(n) reset; on uint32 epoch wraparound the
+/// SolveContext clears the flags so a stale stamp can never alias a fresh
+/// epoch.
+///
+/// Reentrancy contract (see solve_context.hpp): the executor is immutable
+/// after construction; the epoch counter and completion flags live in the
+/// SolveContext, so concurrent solves with distinct contexts are safe. The
+/// context-free overloads share a built-in context and remain
+/// one-solve-at-a-time.
 
 namespace sts::exec {
 
@@ -33,8 +41,22 @@ class P2pExecutor {
   P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
               const Dag& sync_dag);
 
-  /// x = L^{-1} b. Not reentrant: one solve at a time per executor.
-  void solve(std::span<const double> b, std::span<double> x);
+  /// x = L^{-1} b; `ctx` carries the epoch-stamped completion flags.
+  /// Concurrent solves need distinct contexts.
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx) const;
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  /// SpTRSM: X = L^{-1} B, both n x nrhs row-major; one completion-flag
+  /// store per vertex regardless of nrhs.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx) const;
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs) const;
+
+  std::unique_ptr<SolveContext> createContext() const {
+    return std::make_unique<SolveContext>(num_threads_, lower_.rows());
+  }
 
   int numThreads() const { return num_threads_; }
 
@@ -54,9 +76,7 @@ class P2pExecutor {
   std::vector<offset_t> wait_ptr_;
   std::vector<index_t> wait_adj_;
 
-  /// done_[v] == epoch_ means v is computed in the current solve.
-  std::unique_ptr<std::atomic<std::uint32_t>[]> done_;
-  std::uint32_t epoch_ = 0;
+  mutable SolveContext default_ctx_;
 };
 
 }  // namespace sts::exec

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+/// \file row_kernels.hpp
+/// The shared substitution kernels every executor runs per vertex, plus
+/// the common vector-shape check. Single definition on purpose: the
+/// solver's bitwise-equality contract (multi-RHS columns == independent
+/// single-RHS solves, parallel == serial per row) holds because all
+/// executors run literally this arithmetic sequence — a divergent copy
+/// would break it silently.
+
+namespace sts::exec::detail {
+
+/// One substitution step; the diagonal is the last entry of the row.
+inline void computeRow(std::span<const offset_t> row_ptr,
+                       std::span<const index_t> col_idx,
+                       std::span<const double> values,
+                       std::span<const double> b, std::span<double> x,
+                       index_t i) {
+  const auto begin = static_cast<size_t>(row_ptr[static_cast<size_t>(i)]);
+  const auto diag = static_cast<size_t>(row_ptr[static_cast<size_t>(i) + 1]) - 1;
+  double acc = b[static_cast<size_t>(i)];
+  for (size_t k = begin; k < diag; ++k) {
+    acc -= values[k] * x[static_cast<size_t>(col_idx[k])];
+  }
+  x[static_cast<size_t>(i)] = acc / values[diag];
+}
+
+/// Multi-RHS substitution step: row i of X and B are contiguous length-r
+/// blocks. Per RHS the arithmetic sequence is identical to computeRow, so
+/// each column of the result is bitwise equal to a single-RHS solve.
+inline void computeRowMulti(std::span<const offset_t> row_ptr,
+                            std::span<const index_t> col_idx,
+                            std::span<const double> values,
+                            std::span<const double> b, std::span<double> x,
+                            index_t i, size_t r) {
+  const auto begin = static_cast<size_t>(row_ptr[static_cast<size_t>(i)]);
+  const auto diag = static_cast<size_t>(row_ptr[static_cast<size_t>(i) + 1]) - 1;
+  double* xi = x.data() + static_cast<size_t>(i) * r;
+  const double* bi = b.data() + static_cast<size_t>(i) * r;
+  for (size_t c = 0; c < r; ++c) xi[c] = bi[c];
+  for (size_t e = begin; e < diag; ++e) {
+    const double a = values[e];
+    const double* xj = x.data() + static_cast<size_t>(col_idx[e]) * r;
+    for (size_t c = 0; c < r; ++c) xi[c] -= a * xj[c];
+  }
+  const double d = values[diag];
+  for (size_t c = 0; c < r; ++c) xi[c] /= d;
+}
+
+inline void requireVectorSizes(const sparse::CsrMatrix& lower,
+                               std::span<const double> b,
+                               std::span<double> x, index_t nrhs,
+                               const char* who) {
+  const auto n = static_cast<size_t>(lower.rows());
+  if (nrhs <= 0 || b.size() != n * static_cast<size_t>(nrhs) ||
+      x.size() != b.size()) {
+    throw std::invalid_argument(std::string(who) + ": vector size mismatch");
+  }
+}
+
+}  // namespace sts::exec::detail

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "exec/spin_barrier.hpp"
+#include "sparse/types.hpp"
+
+/// \file solve_context.hpp
+/// Per-solve mutable state, separated from the immutable analysis product.
+///
+/// ## Reentrancy contract
+///
+/// The analysis phase (schedule + executor + permuted matrix) is built once
+/// and never mutated by a solve. Everything a solve *does* mutate — the
+/// superstep SpinBarrier, the P2P epoch-stamped completion flags, and the
+/// permutation scratch vectors — lives here. The contract is:
+///
+///   * One SolveContext supports ONE solve at a time.
+///   * N contexts permit N simultaneous solves against the same executor /
+///     TriangularSolver: `solver.solve(b, x, ctx)` is `const` and touches no
+///     solver state outside `ctx`, `b`, and `x`.
+///   * A context is bound to the (num_threads, num_vertices) shape of the
+///     executor that created it; executors reject mismatched contexts.
+///   * Contexts are reusable across sequential solves (state resets are
+///     O(1) amortized: the barrier is sense-reversing, the P2P flags are
+///     epoch-stamped) and cheap to pool — `engine::SolverEngine` keeps a
+///     free list of them per registered solver.
+///
+/// The context-free `solve(b, x)` overloads run on a built-in default
+/// context and therefore keep the historical one-solve-at-a-time
+/// restriction; they exist so single-stream callers need no ceremony.
+class SolveContextTestPeer;
+
+namespace sts::exec {
+
+class BspExecutor;
+class ContiguousBspExecutor;
+class P2pExecutor;
+class TriangularSolver;
+
+class SolveContext {
+ public:
+  /// Shape-compatible with executors built for `num_threads` cores over
+  /// `num_vertices` rows. The barrier is ready immediately; the P2P flag
+  /// array and the permutation scratch are allocated on first use.
+  SolveContext(int num_threads, sts::index_t num_vertices);
+
+  SolveContext(const SolveContext&) = delete;
+  SolveContext& operator=(const SolveContext&) = delete;
+
+  int numThreads() const { return num_threads_; }
+  sts::index_t numVertices() const { return n_; }
+
+  /// Epoch of the most recent P2P solve (0 before any). Diagnostic.
+  std::uint32_t currentEpoch() const { return epoch_; }
+
+ private:
+  friend class BspExecutor;
+  friend class ContiguousBspExecutor;
+  friend class P2pExecutor;
+  friend class TriangularSolver;
+  friend class ::SolveContextTestPeer;  ///< epoch-wraparound tests only
+
+  /// Throws std::invalid_argument unless this context matches the shape of
+  /// the executor about to use it.
+  void requireShape(int num_threads, sts::index_t num_vertices,
+                    const char* who) const;
+
+  /// Starts a P2P solve: allocates the flag array on first use and returns
+  /// the fresh epoch. On uint32 wraparound the flags are cleared and the
+  /// epoch restarts at 1, so a stale `done_[v]` can never alias a future
+  /// epoch and release a waiter early.
+  std::uint32_t beginP2pEpoch();
+
+  /// Scratch sized to at least `size` doubles (grow-only).
+  std::span<double> bScratch(std::size_t size);
+  std::span<double> xScratch(std::size_t size);
+
+  int num_threads_ = 0;
+  sts::index_t n_ = 0;
+  SpinBarrier barrier_;
+
+  /// done_[v] == epoch_ means v is computed in the current P2P solve.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> done_;
+  std::uint32_t epoch_ = 0;
+
+  std::vector<double> b_scratch_;
+  std::vector<double> x_scratch_;
+};
+
+}  // namespace sts::exec

@@ -122,63 +122,119 @@ TriangularSolver TriangularSolver::analyze(const CsrMatrix& matrix,
     solver.contiguous_ = std::make_unique<ContiguousBspExecutor>(
         *solver.matrix_, problem.num_supersteps, problem.num_cores,
         std::move(problem.group_ptr));
+    solver.exec_threads_ = solver.contiguous_->numThreads();
   } else if (options.scheduler == SchedulerKind::kSpmp) {
     solver.p2p_ = std::make_unique<P2pExecutor>(
         *solver.matrix_, solver.schedule_, spmp->reduced_dag);
+    solver.exec_threads_ = solver.p2p_->numThreads();
   } else {
     solver.bsp_ =
         std::make_unique<BspExecutor>(*solver.matrix_, solver.schedule_);
+    solver.exec_threads_ = solver.bsp_->numThreads();
   }
   solver.analysis_seconds_ =
       std::chrono::duration<double>(Clock::now() - t0).count();
   solver.stats_ = core::computeScheduleStats(dag, solver.schedule_,
                                              gl.sync_cost_l);
 
-  if (solver.permuted_) {
-    solver.b_scratch_.resize(static_cast<size_t>(solver.n_));
-    solver.x_scratch_.resize(static_cast<size_t>(solver.n_));
-  }
+  solver.default_ctx_ = solver.createContext();
   return solver;
 }
 
-void TriangularSolver::solve(std::span<const double> b, std::span<double> x) {
+std::unique_ptr<SolveContext> TriangularSolver::createContext() const {
+  return std::make_unique<SolveContext>(exec_threads_, n_);
+}
+
+void TriangularSolver::solve(std::span<const double> b, std::span<double> x,
+                             SolveContext& ctx) const {
   if (static_cast<index_t>(b.size()) != n_ ||
       static_cast<index_t>(x.size()) != n_) {
     throw std::invalid_argument("TriangularSolver::solve: size mismatch");
   }
+  if (!permuted_) {
+    solvePermuted(b, x, ctx);
+    return;
+  }
+  const auto n = static_cast<size_t>(n_);
+  auto b_perm = ctx.bScratch(n);
+  auto x_perm = ctx.xScratch(n);
+  for (size_t i = 0; i < n; ++i) {
+    b_perm[i] = b[static_cast<size_t>(total_new_to_old_[i])];
+  }
+  solvePermuted(b_perm, x_perm, ctx);
+  for (size_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(total_new_to_old_[i])] = x_perm[i];
+  }
+}
+
+void TriangularSolver::solve(std::span<const double> b,
+                             std::span<double> x) const {
+  solve(b, x, defaultContext());
+}
+
+void TriangularSolver::solveMultiRhs(std::span<const double> b,
+                                     std::span<double> x, index_t nrhs,
+                                     SolveContext& ctx) const {
+  const auto n = static_cast<size_t>(n_);
+  if (nrhs <= 0 || b.size() != n * static_cast<size_t>(nrhs) ||
+      x.size() != b.size()) {
+    throw std::invalid_argument(
+        "TriangularSolver::solveMultiRhs: size mismatch");
+  }
+  const auto r = static_cast<size_t>(nrhs);
   std::span<const double> b_in = b;
   std::span<double> x_out = x;
   if (permuted_) {
-    for (index_t i = 0; i < n_; ++i) {
-      b_scratch_[static_cast<size_t>(i)] =
-          b[static_cast<size_t>(total_new_to_old_[static_cast<size_t>(i)])];
+    auto b_perm = ctx.bScratch(n * r);
+    auto x_perm = ctx.xScratch(n * r);
+    for (size_t i = 0; i < n; ++i) {
+      const auto old = static_cast<size_t>(total_new_to_old_[i]);
+      for (size_t c = 0; c < r; ++c) b_perm[i * r + c] = b[old * r + c];
     }
-    b_in = b_scratch_;
-    x_out = x_scratch_;
+    b_in = b_perm;
+    x_out = x_perm;
   }
-  solvePermuted(b_in, x_out);
+  if (contiguous_) {
+    contiguous_->solveMultiRhs(b_in, x_out, nrhs, ctx);
+  } else if (p2p_) {
+    p2p_->solveMultiRhs(b_in, x_out, nrhs, ctx);
+  } else {
+    bsp_->solveMultiRhs(b_in, x_out, nrhs, ctx);
+  }
   if (permuted_) {
-    for (index_t i = 0; i < n_; ++i) {
-      x[static_cast<size_t>(total_new_to_old_[static_cast<size_t>(i)])] =
-          x_scratch_[static_cast<size_t>(i)];
+    for (size_t i = 0; i < n; ++i) {
+      const auto old = static_cast<size_t>(total_new_to_old_[i]);
+      for (size_t c = 0; c < r; ++c) x[old * r + c] = x_out[i * r + c];
     }
   }
 }
 
+void TriangularSolver::solveMultiRhs(std::span<const double> b,
+                                     std::span<double> x,
+                                     index_t nrhs) const {
+  solveMultiRhs(b, x, nrhs, defaultContext());
+}
+
 void TriangularSolver::solvePermuted(std::span<const double> b,
-                                     std::span<double> x) {
+                                     std::span<double> x,
+                                     SolveContext& ctx) const {
   if (static_cast<index_t>(b.size()) != n_ ||
       static_cast<index_t>(x.size()) != n_) {
     throw std::invalid_argument(
         "TriangularSolver::solvePermuted: size mismatch");
   }
   if (contiguous_) {
-    contiguous_->solve(b, x);
+    contiguous_->solve(b, x, ctx);
   } else if (p2p_) {
-    p2p_->solve(b, x);
+    p2p_->solve(b, x, ctx);
   } else {
-    bsp_->solve(b, x);
+    bsp_->solve(b, x, ctx);
   }
+}
+
+void TriangularSolver::solvePermuted(std::span<const double> b,
+                                     std::span<double> x) const {
+  solvePermuted(b, x, defaultContext());
 }
 
 }  // namespace sts::exec

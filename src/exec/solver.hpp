@@ -12,6 +12,7 @@
 #include "core/schedule.hpp"
 #include "exec/bsp.hpp"
 #include "exec/p2p.hpp"
+#include "exec/solve_context.hpp"
 #include "sparse/csr.hpp"
 
 /// \file solver.hpp
@@ -22,6 +23,18 @@
 ///
 ///   auto solver = sts::exec::TriangularSolver::analyze(L, options);
 ///   solver.solve(b, x);   // fast path, repeatable
+///
+/// Reentrancy contract (see solve_context.hpp): after analyze() the solver
+/// is immutable; every solve entry point has a `const` overload taking a
+/// SolveContext that carries all per-solve mutable state. N contexts from
+/// createContext() permit N simultaneous solves on one analyzed solver —
+/// the basis of the `engine::SolverEngine` serving subsystem:
+///
+///   auto ctx = solver.createContext();      // one per in-flight solve
+///   solver.solve(b, x, *ctx);               // thread-safe across contexts
+///
+/// The context-free overloads run on a built-in default context and keep
+/// the historical one-solve-at-a-time restriction.
 ///
 /// Upper triangular inputs are normalized internally by the reversal
 /// permutation (backward substitution is forward substitution on the
@@ -70,9 +83,27 @@ class TriangularSolver {
   static TriangularSolver analyze(const CsrMatrix& matrix,
                                   const SolverOptions& options = {});
 
+  /// A fresh per-solve context shaped for this solver's executor. Each
+  /// in-flight solve needs its own; contexts are reusable sequentially.
+  std::unique_ptr<SolveContext> createContext() const;
+
   /// x = T^{-1} b in the ORIGINAL row ordering (permutations are internal).
-  /// Not reentrant: one solve per instance at a time.
-  void solve(std::span<const double> b, std::span<double> x);
+  /// The context overload is safe to call concurrently with any other
+  /// context-carrying solve on this instance.
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx) const;
+  /// Built-in-context convenience: one solve per instance at a time.
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  /// X = T^{-1} B for nrhs right-hand sides, b and x row-major n x nrhs in
+  /// the ORIGINAL row ordering. One schedule traversal serves all nrhs
+  /// solves, amortizing every barrier/flag crossing (Table 7.7's
+  /// block-parallel idea); column c of X is bitwise equal to solve() on
+  /// column c of B.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx) const;
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs) const;
 
   /// Solve with b and x in the solver's INTERNAL (schedule-permuted) row
   /// order: position i corresponds to original row permutation()[i].
@@ -81,7 +112,9 @@ class TriangularSolver {
   /// on the permuted problem") — avoid the two O(n) vector permutations
   /// per solve() this way. Identical to solve() when no permutation was
   /// applied.
-  void solvePermuted(std::span<const double> b, std::span<double> x);
+  void solvePermuted(std::span<const double> b, std::span<double> x,
+                     SolveContext& ctx) const;
+  void solvePermuted(std::span<const double> b, std::span<double> x) const;
 
   /// new_to_old map of the internal order (identity when not permuted).
   std::span<const index_t> permutation() const { return total_new_to_old_; }
@@ -98,11 +131,15 @@ class TriangularSolver {
  private:
   TriangularSolver() = default;
 
+  SolveContext& defaultContext() const { return *default_ctx_; }
+
   index_t n_ = 0;
   SolverOptions options_;
   Schedule schedule_;
   core::ScheduleStats stats_;
   double analysis_seconds_ = 0.0;
+  /// Thread count of the constructed executor (== schedule_.numCores()).
+  int exec_threads_ = 1;
 
   /// Normalization: x solves the original system iff the permuted solve
   /// runs on *matrix_ with b permuted by total_new_to_old_.
@@ -115,9 +152,8 @@ class TriangularSolver {
   std::unique_ptr<ContiguousBspExecutor> contiguous_;
   std::unique_ptr<P2pExecutor> p2p_;
 
-  // Scratch for permuted solves.
-  std::vector<double> b_scratch_;
-  std::vector<double> x_scratch_;
+  /// Backs the context-free convenience overloads.
+  std::unique_ptr<SolveContext> default_ctx_;
 };
 
 }  // namespace sts::exec

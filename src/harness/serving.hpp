@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/solver_engine.hpp"
+#include "exec/solver.hpp"
+#include "harness/runner.hpp"
+
+/// \file serving.hpp
+/// Measurement harness for the request-serving subsystem: how much
+/// aggregate throughput does batched multi-RHS submission through
+/// engine::SolverEngine buy over the classic sequential single-RHS solve
+/// loop on the same analyzed solver? This is the serving-side counterpart
+/// of the Table 7.7 block-parallel experiment: the win is barrier/flag
+/// amortization across the coalesced right-hand sides.
+
+namespace sts::harness {
+
+struct ServingMeasurement {
+  std::string matrix;
+  std::string scheduler;
+  int requests = 0;            ///< right-hand sides served per pass
+  sts::index_t max_batch = 0;  ///< engine coalescing budget
+  double sequential_seconds = 0.0;  ///< median: solve() loop, one context
+  double batched_seconds = 0.0;     ///< median: staged engine pass
+  double speedup = 0.0;             ///< sequential / batched
+  double mean_batch_rhs = 0.0;      ///< realized engine batch size
+  double sequential_rhs_per_second = 0.0;
+  double batched_rhs_per_second = 0.0;
+};
+
+/// Measures one (matrix, scheduler) serving configuration. Both sides
+/// solve the same `num_requests` right-hand sides per pass:
+///   sequential — a solve() loop on one context (the pre-engine baseline);
+///   batched    — a single-worker SolverEngine, requests staged while
+///                dispatch is paused so coalescing is deterministic, timed
+///                from resume() to drain().
+/// One worker isolates the batching effect from multi-worker overlap.
+/// Passes repeat warmup + reps times (median, runner.hpp methodology).
+ServingMeasurement measureServing(const std::string& matrix_name,
+                                  const CsrMatrix& lower, SchedulerKind kind,
+                                  const MeasureOptions& opts,
+                                  int num_requests, sts::index_t max_batch);
+
+/// Geometric mean of the serving speedup over measurements.
+double geomeanServingSpeedup(const std::vector<ServingMeasurement>& ms);
+
+}  // namespace sts::harness

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <thread>
+
 #include "baselines/spmp.hpp"
 #include "baselines/wavefront.hpp"
 #include "core/growlocal.hpp"
@@ -12,6 +17,16 @@
 #include "datagen/random_matrices.hpp"
 #include "sparse/permute.hpp"
 #include "test_util.hpp"
+
+/// Test-only access to SolveContext's private epoch counter (befriended in
+/// solve_context.hpp) so the uint32 wraparound path is testable without
+/// 2^32 solves.
+class SolveContextTestPeer {
+ public:
+  static void setEpoch(sts::exec::SolveContext& ctx, std::uint32_t epoch) {
+    ctx.epoch_ = epoch;
+  }
+};
 
 namespace sts::exec {
 namespace {
@@ -132,6 +147,68 @@ TEST(P2pExecutor, MatchesSerialWithReducedSyncDag) {
   }
 }
 
+/// Epoch wraparound: when the per-context uint32 epoch overflows, the
+/// completion flags are cleared and the counter restarts at 1 — a stale
+/// flag can never alias a reissued epoch and release a waiter before its
+/// dependency is computed.
+TEST(P2pExecutor, EpochWraparoundResetsCompletionFlags) {
+  const auto lower = datagen::erdosRenyiLower({.n = 300, .p = 1e-2, .seed = 98});
+  const Dag d = Dag::fromLowerTriangular(lower);
+  const auto spmp = baselines::spmpSchedule(d, {.num_cores = 2});
+  const P2pExecutor exec(lower, spmp.schedule, spmp.reduced_dag);
+  const auto ctx = exec.createContext();
+  const auto x_true = referenceSolution(lower.rows(), 99);
+  const auto b = rhsFor(lower, x_true);
+  std::vector<double> expected(b.size(), 0.0), x(b.size(), 0.0);
+  solveLowerSerial(lower, b, expected);
+
+  exec.solve(b, x, *ctx);
+  EXPECT_EQ(x, expected);
+  EXPECT_EQ(ctx->currentEpoch(), 1u);
+
+  // Jump to the last representable epoch: the next solve overflows, must
+  // clear the stale flags (all stamped 1) and restart at epoch 1 rather
+  // than hand out an epoch a stale flag could equal.
+  SolveContextTestPeer::setEpoch(
+      *ctx, std::numeric_limits<std::uint32_t>::max());
+  for (int rep = 1; rep <= 3; ++rep) {
+    std::fill(x.begin(), x.end(), -1.0);
+    exec.solve(b, x, *ctx);
+    EXPECT_EQ(x, expected) << "rep " << rep;
+    EXPECT_EQ(ctx->currentEpoch(), static_cast<std::uint32_t>(rep));
+  }
+}
+
+TEST(P2pExecutor, ConcurrentSolvesWithDistinctContexts) {
+  const auto lower = datagen::erdosRenyiLower({.n = 400, .p = 8e-3, .seed = 89});
+  const Dag d = Dag::fromLowerTriangular(lower);
+  const auto spmp = baselines::spmpSchedule(d, {.num_cores = 2});
+  const P2pExecutor exec(lower, spmp.schedule, spmp.reduced_dag);
+  const auto x_true = referenceSolution(lower.rows(), 84);
+  const auto b = rhsFor(lower, x_true);
+  std::vector<double> expected(b.size(), 0.0);
+  solveLowerSerial(lower, b, expected);
+
+  constexpr int kThreads = 3;
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto ctx = exec.createContext();
+      std::vector<double> x(b.size(), 0.0);
+      for (int rep = 0; rep < 3; ++rep) {
+        std::fill(x.begin(), x.end(), -1.0);
+        exec.solve(b, x, *ctx);
+        if (x != expected) failures[static_cast<size_t>(t)] += 1;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[static_cast<size_t>(t)], 0) << "thread " << t;
+  }
+}
+
 TEST(P2pExecutor, ReductionShrinksCrossDependencies) {
   const auto lower = datagen::erdosRenyiLower({.n = 800, .p = 8e-3, .seed = 87});
   const Dag d = Dag::fromLowerTriangular(lower);
@@ -157,6 +234,122 @@ TEST(ContiguousExecutor, MatchesSerialWithinTolerance) {
     exec.solve(b_perm, x_perm);
     const auto x = sparse::unpermuteVector(x_perm, problem.new_to_old);
     EXPECT_LT(relMaxAbsDiff(x, x_true), 1e-8) << name;
+  }
+}
+
+/// Distinct contexts allow simultaneous solves on one executor; results
+/// stay bit-identical to serial regardless of interleaving.
+TEST(BspExecutor, ConcurrentSolvesWithDistinctContexts) {
+  const auto lower = datagen::erdosRenyiLower({.n = 500, .p = 6e-3, .seed = 90});
+  const Dag d = Dag::fromLowerTriangular(lower);
+  const Schedule s = core::growLocalSchedule(d, {.num_cores = 2});
+  const BspExecutor exec(lower, s);
+  const auto x_true = referenceSolution(lower.rows(), 91);
+  const auto b = rhsFor(lower, x_true);
+  std::vector<double> expected(b.size(), 0.0);
+  solveLowerSerial(lower, b, expected);
+
+  constexpr int kThreads = 3;
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto ctx = exec.createContext();
+      std::vector<double> x(b.size(), 0.0);
+      for (int rep = 0; rep < 3; ++rep) {
+        std::fill(x.begin(), x.end(), -1.0);
+        exec.solve(b, x, *ctx);
+        if (x != expected) failures[static_cast<size_t>(t)] += 1;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[static_cast<size_t>(t)], 0) << "thread " << t;
+  }
+}
+
+TEST(BspExecutor, MultiRhsMatchesSingleSolvesBitwise) {
+  const auto lower = datagen::bandedLower(300, 7, 0.5, 92);
+  const Dag d = Dag::fromLowerTriangular(lower);
+  const Schedule s = core::growLocalSchedule(d, {.num_cores = 2});
+  const BspExecutor exec(lower, s);
+  const auto n = static_cast<size_t>(lower.rows());
+  constexpr index_t kNrhs = 3;
+  std::vector<double> b_multi(n * kNrhs), x_multi(n * kNrhs, 0.0);
+  std::vector<std::vector<double>> expected;
+  for (index_t c = 0; c < kNrhs; ++c) {
+    const auto x_true = referenceSolution(lower.rows(), 93 + c);
+    const auto b = rhsFor(lower, x_true);
+    for (size_t i = 0; i < n; ++i) {
+      b_multi[i * kNrhs + static_cast<size_t>(c)] = b[i];
+    }
+    expected.emplace_back(n, 0.0);
+    exec.solve(b, expected.back());
+  }
+  exec.solveMultiRhs(b_multi, x_multi, kNrhs);
+  for (index_t c = 0; c < kNrhs; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(x_multi[i * kNrhs + static_cast<size_t>(c)],
+                expected[static_cast<size_t>(c)][i]);
+    }
+  }
+}
+
+TEST(ContiguousExecutor, MultiRhsMatchesSingleSolvesBitwise) {
+  const auto lower = datagen::bandedLower(300, 7, 0.5, 94);
+  const Dag d = Dag::fromLowerTriangular(lower);
+  const Schedule s = core::growLocalSchedule(d, {.num_cores = 2});
+  core::ReorderedProblem problem = core::reorderForLocality(lower, s);
+  const ContiguousBspExecutor exec(problem.matrix, problem.num_supersteps,
+                                   problem.num_cores, problem.group_ptr);
+  const auto n = static_cast<size_t>(lower.rows());
+  constexpr index_t kNrhs = 3;
+  std::vector<double> b_multi(n * kNrhs), x_multi(n * kNrhs, 0.0);
+  std::vector<std::vector<double>> expected;
+  for (index_t c = 0; c < kNrhs; ++c) {
+    const auto x_true = referenceSolution(lower.rows(), 95 + c);
+    const auto b_perm =
+        sparse::permuteVector(rhsFor(lower, x_true), problem.new_to_old);
+    for (size_t i = 0; i < n; ++i) {
+      b_multi[i * kNrhs + static_cast<size_t>(c)] = b_perm[i];
+    }
+    expected.emplace_back(n, 0.0);
+    exec.solve(b_perm, expected.back());
+  }
+  exec.solveMultiRhs(b_multi, x_multi, kNrhs);
+  for (index_t c = 0; c < kNrhs; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(x_multi[i * kNrhs + static_cast<size_t>(c)],
+                expected[static_cast<size_t>(c)][i]);
+    }
+  }
+}
+
+TEST(P2pExecutor, MultiRhsMatchesSerial) {
+  const auto lower = datagen::erdosRenyiLower({.n = 400, .p = 8e-3, .seed = 96});
+  const Dag d = Dag::fromLowerTriangular(lower);
+  const auto spmp = baselines::spmpSchedule(d, {.num_cores = 2});
+  const P2pExecutor exec(lower, spmp.schedule, spmp.reduced_dag);
+  const auto n = static_cast<size_t>(lower.rows());
+  constexpr index_t kNrhs = 3;
+  std::vector<double> b_multi(n * kNrhs), x_multi(n * kNrhs, 0.0);
+  std::vector<std::vector<double>> expected;
+  for (index_t c = 0; c < kNrhs; ++c) {
+    const auto x_true = referenceSolution(lower.rows(), 97 + c);
+    const auto b = rhsFor(lower, x_true);
+    for (size_t i = 0; i < n; ++i) {
+      b_multi[i * kNrhs + static_cast<size_t>(c)] = b[i];
+    }
+    expected.emplace_back(n, 0.0);
+    solveLowerSerial(lower, b, expected.back());
+  }
+  exec.solveMultiRhs(b_multi, x_multi, kNrhs);
+  for (index_t c = 0; c < kNrhs; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(x_multi[i * kNrhs + static_cast<size_t>(c)],
+                expected[static_cast<size_t>(c)][i]);
+    }
   }
 }
 

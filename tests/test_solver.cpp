@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
 #include <tuple>
 
 #include "exec/serial.hpp"
@@ -143,6 +145,127 @@ TEST(TriangularSolver, ExposesScheduleAndStats) {
   EXPECT_GT(solver.stats().total_work, 0);
   EXPECT_GE(solver.analysisSeconds(), 0.0);
   EXPECT_GT(solver.stats().wavefront_reduction, 1.0);
+}
+
+/// solveMultiRhs must reproduce nrhs independent solve() calls bitwise:
+/// the multi-RHS kernels run the identical arithmetic sequence per column.
+TEST(TriangularSolver, SolveMultiRhsMatchesIndependentSolves) {
+  const auto lower = datagen::erdosRenyiLower({.n = 600, .p = 5e-3, .seed = 60});
+  constexpr index_t kNrhs = 4;
+  const auto n = static_cast<size_t>(lower.rows());
+  const struct {
+    SchedulerKind kind;
+    bool reorder;
+  } configs[] = {{SchedulerKind::kGrowLocal, true},
+                 {SchedulerKind::kGrowLocal, false},
+                 {SchedulerKind::kSpmp, false}};
+  for (const auto& config : configs) {
+    SolverOptions opts;
+    opts.scheduler = config.kind;
+    opts.num_threads = 2;
+    opts.reorder = config.reorder;
+    auto solver = TriangularSolver::analyze(lower, opts);
+
+    std::vector<double> b_multi(n * kNrhs), x_multi(n * kNrhs, 0.0);
+    std::vector<std::vector<double>> expected;
+    for (index_t c = 0; c < kNrhs; ++c) {
+      const auto x_true = referenceSolution(lower.rows(), 61 + c);
+      const auto b = lower.multiply(x_true);
+      for (size_t i = 0; i < n; ++i) {
+        b_multi[i * kNrhs + static_cast<size_t>(c)] = b[i];
+      }
+      expected.emplace_back(n, 0.0);
+      solver.solve(b, expected.back());
+    }
+    solver.solveMultiRhs(b_multi, x_multi, kNrhs);
+    for (index_t c = 0; c < kNrhs; ++c) {
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(x_multi[i * kNrhs + static_cast<size_t>(c)],
+                  expected[static_cast<size_t>(c)][i])
+            << schedulerKindName(config.kind) << " reorder="
+            << config.reorder << " rhs " << c << " row " << i;
+      }
+    }
+  }
+}
+
+/// solvePermuted on manually permuted vectors must round-trip to exactly
+/// what solve() produces (solve() is the permute -> solvePermuted ->
+/// unpermute composition).
+TEST(TriangularSolver, SolvePermutedRoundTripMatchesSolve) {
+  const auto lower = datagen::bandedLower(500, 9, 0.5, 62);
+  SolverOptions opts;
+  opts.num_threads = 2;
+  opts.reorder = true;
+  auto solver = TriangularSolver::analyze(lower, opts);
+  ASSERT_TRUE(solver.isPermuted());
+  const auto perm = solver.permutation();
+  const auto n = static_cast<size_t>(lower.rows());
+
+  const auto x_true = referenceSolution(lower.rows(), 63);
+  const auto b = lower.multiply(x_true);
+  std::vector<double> x_direct(n, 0.0);
+  solver.solve(b, x_direct);
+
+  std::vector<double> b_perm(n), x_perm(n, 0.0), x_round(n, 0.0);
+  for (size_t i = 0; i < n; ++i) b_perm[i] = b[static_cast<size_t>(perm[i])];
+  solver.solvePermuted(b_perm, x_perm);
+  for (size_t i = 0; i < n; ++i) {
+    x_round[static_cast<size_t>(perm[i])] = x_perm[i];
+  }
+  EXPECT_EQ(x_direct, x_round);
+}
+
+/// The SolveContext reentrancy contract at the facade level: concurrent
+/// solves with distinct contexts on one analyzed solver are safe and
+/// bitwise-deterministic.
+TEST(TriangularSolver, ConcurrentContextsSolveIndependently) {
+  const auto lower = datagen::erdosRenyiLower({.n = 500, .p = 6e-3, .seed = 64});
+  SolverOptions opts;
+  opts.num_threads = 2;
+  opts.reorder = false;  // BspExecutor path: bit-identical to serial
+  const auto solver = TriangularSolver::analyze(lower, opts);
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<double>> rhs, expected;
+  for (int t = 0; t < kThreads; ++t) {
+    const auto x_true = referenceSolution(lower.rows(), 65 + t);
+    rhs.push_back(lower.multiply(x_true));
+    expected.emplace_back(rhs.back().size(), 0.0);
+    solveLowerSerial(lower, rhs.back(), expected.back());
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto ctx = solver.createContext();
+      std::vector<double> x(rhs[static_cast<size_t>(t)].size(), 0.0);
+      for (int rep = 0; rep < 3; ++rep) {
+        std::fill(x.begin(), x.end(), -1.0);
+        solver.solve(rhs[static_cast<size_t>(t)], x, *ctx);
+        if (x != expected[static_cast<size_t>(t)]) {
+          failures[static_cast<size_t>(t)] += 1;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[static_cast<size_t>(t)], 0) << "thread " << t;
+  }
+}
+
+TEST(TriangularSolver, ContextShapeMismatchThrows) {
+  const auto lower_a = datagen::bandedLower(100, 4, 0.5, 66);
+  const auto lower_b = datagen::bandedLower(120, 4, 0.5, 67);
+  SolverOptions opts;
+  opts.num_threads = 2;
+  auto solver_a = TriangularSolver::analyze(lower_a, opts);
+  auto solver_b = TriangularSolver::analyze(lower_b, opts);
+  auto ctx_b = solver_b.createContext();
+  std::vector<double> b(100, 1.0), x(100, 0.0);
+  EXPECT_THROW(solver_a.solve(b, x, *ctx_b), std::invalid_argument);
 }
 
 TEST(TriangularSolver, SolveSizeMismatchThrows) {
