@@ -1,0 +1,222 @@
+/// Elastic serving: the concurrency/parallelism trade-off of load-adaptive
+/// team sizing. An analyzed schedule of width C is re-targetable to any
+/// team t <= C (Schedule::foldTo; bitwise-lossless), so under deep backlog
+/// the engine can shrink per-solve teams and run more batches concurrently
+/// instead of spending every core on one solve — the elasticity gap
+/// Steiner et al. identify for the source paper's schedules. This bench
+/// sweeps offered load (staged backlog depth) and per-batch team size and
+/// emits JSON: team size vs. aggregate throughput per dataset.
+///
+///   STS_BENCH_SCALE / STS_BENCH_REPS control dataset sizing as usual;
+///   STS_ELASTIC_WIDTH    (default 4)  schedule width C;
+///   STS_ELASTIC_WORKERS  (default C)  engine dispatcher threads;
+///   STS_ELASTIC_BATCH    (default 8)  coalescing budget;
+///   STS_ELASTIC_REPS     (default 5)  timed passes per configuration.
+///
+/// Exit code 0 iff, under the deepest backlog, some fixed team t < C beats
+/// the full-width-only configuration on at least one dataset.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "engine/solver_engine.hpp"
+#include "harness/datasets.hpp"
+#include "harness/stats.hpp"
+
+namespace {
+
+int envInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+struct Config {
+  std::string name;
+  int team = 0;          ///< fixed team; 0 = adaptive elastic policy
+};
+
+struct Result {
+  std::string dataset;
+  std::string matrix;
+  std::string config;
+  int team = 0;          ///< 0 = adaptive
+  int backlog = 0;
+  double median_seconds = 0.0;
+  double rhs_per_second = 0.0;
+  double mean_team_size = 0.0;
+  std::uint64_t shrunk_batches = 0;
+};
+
+/// Median resume()-to-drain seconds for a staged backlog of `backlog`
+/// single-RHS requests, over `reps` timed passes after one warmup.
+double measurePass(sts::engine::SolverEngine& engine,
+                   sts::engine::SolverId id,
+                   const std::vector<std::vector<double>>& rhs, int reps) {
+  using Clock = std::chrono::high_resolution_clock;
+  std::vector<double> seconds;
+  for (int pass = 0; pass < reps + 1; ++pass) {
+    engine.pause();
+    std::vector<std::future<std::vector<double>>> futures;
+    futures.reserve(rhs.size());
+    for (const auto& b : rhs) futures.push_back(engine.submit(id, b));
+    const auto t0 = Clock::now();
+    engine.resume();
+    for (auto& f : futures) f.get();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (pass > 0) seconds.push_back(s);  // pass 0 is warmup
+  }
+  return sts::harness::quantile(seconds, 0.5);
+}
+
+}  // namespace
+
+int main() {
+  using namespace sts;
+
+  const int width = envInt("STS_ELASTIC_WIDTH", 4);
+  const int workers = envInt("STS_ELASTIC_WORKERS", width);
+  const auto max_batch =
+      static_cast<index_t>(envInt("STS_ELASTIC_BATCH", 8));
+  const int reps = envInt("STS_ELASTIC_REPS", 5);
+  const std::vector<int> backlogs = {workers, 4 * workers, 16 * workers};
+
+  bench::banner("Elastic serving", "Steiner et al. (elasticity follow-up)",
+                "Team size vs. aggregate throughput under offered load");
+  std::printf("schedule width %d, %d workers, coalescing budget %d, "
+              "%u hardware cores\n\n",
+              width, workers, static_cast<int>(max_batch),
+              std::thread::hardware_concurrency());
+
+  std::vector<Config> configs;
+  configs.push_back({"full", width});
+  for (int t = 1; t < width; ++t) {
+    configs.push_back({"team=" + std::to_string(t), t});
+  }
+  configs.push_back({"adaptive", 0});
+
+  std::vector<harness::DatasetEntry> entries;
+  std::vector<std::string> entry_dataset;
+  {
+    auto standin = harness::suiteSparseStandin();
+    for (size_t i = 0; i < standin.size() && i < 2; ++i) {
+      entry_dataset.push_back("suitesparse-standin");
+      entries.push_back(std::move(standin[i]));
+    }
+    auto erdos = harness::erdosRenyiSet();
+    if (!erdos.empty()) {
+      entry_dataset.push_back("erdos-renyi");
+      entries.push_back(std::move(erdos.front()));
+    }
+  }
+
+  std::vector<Result> results;
+  bool shrunk_wins = false;
+  for (size_t e = 0; e < entries.size(); ++e) {
+    const auto& entry = entries[e];
+    exec::SolverOptions solver_opts;
+    solver_opts.scheduler = exec::SchedulerKind::kGrowLocal;
+    solver_opts.num_threads = width;
+    solver_opts.validate = false;
+    auto solver = std::make_shared<const exec::TriangularSolver>(
+        exec::TriangularSolver::analyze(entry.lower, solver_opts));
+    const auto n = static_cast<size_t>(entry.lower.rows());
+
+    const int deepest = backlogs.back();
+    std::vector<std::vector<double>> rhs(static_cast<size_t>(deepest));
+    for (size_t j = 0; j < rhs.size(); ++j) {
+      rhs[j].resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        rhs[j][i] = 1.0 + 0.25 * static_cast<double>((i + 7 * j) % 13);
+      }
+    }
+
+    double full_deep_rhs_per_s = 0.0;
+    double best_shrunk_deep = 0.0;
+    std::string best_shrunk_name;
+    for (const auto& config : configs) {
+      for (const int backlog : backlogs) {
+        // One engine per (config, backlog) row so the reported stats —
+        // especially mean_team_size under the adaptive policy — describe
+        // exactly this offered-load level, not the sweep so far.
+        engine::EngineOptions opts;
+        opts.num_workers = workers;
+        opts.max_batch = max_batch;
+        opts.coalesce = true;
+        opts.start_paused = true;
+        if (config.team > 0) {
+          opts.team_size = config.team;
+        } else {
+          opts.elastic = true;
+        }
+        engine::SolverEngine engine(opts);
+        const auto id = engine.registerSolver(solver);
+        const std::vector<std::vector<double>> slice(
+            rhs.begin(), rhs.begin() + backlog);
+        Result r;
+        r.dataset = entry_dataset[e];
+        r.matrix = entry.name;
+        r.config = config.name;
+        r.team = config.team;
+        r.backlog = backlog;
+        r.median_seconds = measurePass(engine, id, slice, reps);
+        r.rhs_per_second =
+            static_cast<double>(backlog) / r.median_seconds;
+        const auto stats = engine.stats(id);
+        r.mean_team_size = stats.mean_team_size;
+        r.shrunk_batches = stats.shrunk_batches;
+        std::printf("%-20s %-12s backlog %4d: %8.3f ms, %9.0f rhs/s\n",
+                    entry.name.c_str(), config.name.c_str(), backlog,
+                    r.median_seconds * 1e3, r.rhs_per_second);
+        if (backlog == deepest) {
+          if (config.name == "full") {
+            full_deep_rhs_per_s = r.rhs_per_second;
+          } else if (config.team > 0 && config.team < width &&
+                     r.rhs_per_second > best_shrunk_deep) {
+            best_shrunk_deep = r.rhs_per_second;
+            best_shrunk_name = config.name;
+          }
+        }
+        results.push_back(std::move(r));
+      }
+    }
+    if (best_shrunk_deep > full_deep_rhs_per_s) shrunk_wins = true;
+    std::printf("  -> deep backlog on %s: full %0.0f rhs/s vs best shrunk "
+                "(%s) %0.0f rhs/s\n\n",
+                entry.name.c_str(), full_deep_rhs_per_s,
+                best_shrunk_name.c_str(), best_shrunk_deep);
+  }
+
+  // Machine-readable output: team size vs. aggregate throughput.
+  std::printf("JSON: {\"bench\":\"elastic_serving\",\"hardware_cores\":%u,"
+              "\"schedule_width\":%d,\"workers\":%d,\"max_batch\":%d,"
+              "\"results\":[",
+              std::thread::hardware_concurrency(), width, workers,
+              static_cast<int>(max_batch));
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%s{\"dataset\":\"%s\",\"matrix\":\"%s\",\"config\":\"%s\","
+                "\"team\":%d,\"backlog\":%d,\"median_seconds\":%.6g,"
+                "\"rhs_per_second\":%.6g,\"mean_team_size\":%.3g,"
+                "\"shrunk_batches\":%llu}",
+                i == 0 ? "" : ",", r.dataset.c_str(), r.matrix.c_str(),
+                r.config.c_str(), r.team, r.backlog, r.median_seconds,
+                r.rhs_per_second, r.mean_team_size,
+                static_cast<unsigned long long>(r.shrunk_batches));
+  }
+  std::printf("]}\n");
+
+  std::printf("\nclaim under test: under deep backlog, folding solves onto "
+              "shrunk teams buys more aggregate\nthroughput than full-width "
+              "solves — the elasticity trade-off.\n");
+  std::printf(shrunk_wins ? "claim holds.\n" : "claim FAILED.\n");
+  return shrunk_wins ? 0 : 1;
+}

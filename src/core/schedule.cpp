@@ -121,6 +121,39 @@ std::span<const index_t> Schedule::group(index_t s, int p) const {
       static_cast<size_t>(group_ptr_[g + 1] - group_ptr_[g]));
 }
 
+Schedule Schedule::foldTo(int num_cores) const {
+  if (num_cores <= 0) {
+    throw std::invalid_argument("Schedule::foldTo: num_cores must be positive");
+  }
+  if (num_cores > num_cores_) {
+    throw std::invalid_argument(
+        "Schedule::foldTo: cannot widen a schedule (requested " +
+        std::to_string(num_cores) + " > " + std::to_string(num_cores_) + ")");
+  }
+  if (num_cores == num_cores_) return *this;
+
+  std::vector<int> core(static_cast<size_t>(n_));
+  for (index_t v = 0; v < n_; ++v) {
+    core[static_cast<size_t>(v)] = core_[static_cast<size_t>(v)] % num_cores;
+  }
+  std::vector<index_t> order;
+  order.reserve(static_cast<size_t>(n_));
+  std::vector<offset_t> group_ptr = {0};
+  group_ptr.reserve(static_cast<size_t>(num_supersteps_) *
+                        static_cast<size_t>(num_cores) + 1);
+  for (index_t s = 0; s < num_supersteps_; ++s) {
+    for (int q = 0; q < num_cores; ++q) {
+      for (int p = q; p < num_cores_; p += num_cores) {
+        const auto g = group(s, p);
+        order.insert(order.end(), g.begin(), g.end());
+      }
+      group_ptr.push_back(static_cast<offset_t>(order.size()));
+    }
+  }
+  return Schedule(n_, num_cores, num_supersteps_, std::move(core),
+                  superstep_, std::move(order), std::move(group_ptr));
+}
+
 ScheduleValidation validateSchedule(const Dag& dag, const Schedule& schedule) {
   const index_t n = dag.numVertices();
   auto fail = [](const std::string& msg) {

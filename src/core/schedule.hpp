@@ -60,6 +60,18 @@ class Schedule {
   /// Vertices of (superstep s, core p) in execution order.
   std::span<const index_t> group(index_t s, int p) const;
 
+  /// Re-targets the schedule to `num_cores` <= numCores() processors by
+  /// folding ranks p -> p mod num_cores. Superstep structure is preserved
+  /// exactly; the folded group (s, q) concatenates the old groups (s, p)
+  /// for p ≡ q (mod num_cores) in ascending p, each keeping its internal
+  /// order. Validity is preserved: within a superstep every edge is
+  /// intra-core (Def. 2.1 forbids same-superstep cross-core edges), so
+  /// merging cores cannot break the in-group execution order, and
+  /// cross-superstep edges only ever become intra-core, which is strictly
+  /// weaker to satisfy. Folding to numCores() returns a copy; widening
+  /// throws std::invalid_argument.
+  Schedule foldTo(int num_cores) const;
+
   /// The flat execution order (superstep-major, core-minor).
   std::span<const index_t> executionOrder() const { return order_; }
   std::span<const offset_t> groupPtr() const { return group_ptr_; }

@@ -13,30 +13,45 @@ bool RequestQueue::push(SolveRequest&& request) {
 }
 
 std::vector<SolveRequest> RequestQueue::popBatch(sts::index_t max_rhs,
-                                                 bool coalesce) {
+                                                 bool coalesce,
+                                                 std::size_t* backlog) {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] {
     // A closed queue ignores pause so shutdown always drains.
     return closed_ ? true : (!paused_ && !queue_.empty());
   });
-  if (queue_.empty()) return {};  // closed and drained
+  if (queue_.empty()) {
+    if (backlog) *backlog = 0;
+    return {};  // closed and drained
+  }
 
   std::vector<SolveRequest> batch;
   batch.push_back(std::move(queue_.front()));
   queue_.pop_front();
   if (coalesce && batch.front().nrhs == 1) {
+    // Single compaction pass: coalescable requests move into the batch,
+    // survivors slide left into the holes. Erasing per match would be
+    // O(depth) *per coalesced request* — quadratic in exactly the
+    // deep-backlog regime coalescing exists for.
     const SolverId solver = batch.front().solver;
     sts::index_t rhs = 1;
-    for (auto it = queue_.begin(); it != queue_.end() && rhs < max_rhs;) {
-      if (it->solver == solver && it->nrhs == 1) {
-        batch.push_back(std::move(*it));
-        it = queue_.erase(it);
+    auto write = queue_.begin();
+    auto read = queue_.begin();
+    for (; read != queue_.end(); ++read) {
+      if (rhs == max_rhs && write == read) break;  // no holes: tail in place
+      if (rhs < max_rhs && read->solver == solver && read->nrhs == 1) {
+        batch.push_back(std::move(*read));
         ++rhs;
       } else {
-        ++it;
+        if (write != read) *write = std::move(*read);
+        ++write;
       }
     }
+    // Only a completed pass leaves holes at the tail; an early break means
+    // every survivor is already in place.
+    if (read == queue_.end()) queue_.erase(write, queue_.end());
   }
+  if (backlog) *backlog = queue_.size();
   return batch;
 }
 

@@ -31,8 +31,13 @@ class RequestQueue {
   /// worker-shutdown signal. Otherwise returns the head request plus, when
   /// `coalesce`, all other queued nrhs==1 requests for the same solver
   /// until the batch reaches `max_rhs` columns (FIFO order preserved;
-  /// requests for other solvers are left in place).
-  std::vector<SolveRequest> popBatch(sts::index_t max_rhs, bool coalesce);
+  /// requests for other solvers are left in place). Coalescing is a single
+  /// compaction pass over the deque, O(depth) total regardless of how many
+  /// requests move into the batch. When `backlog` is non-null it receives
+  /// the queue depth left behind — the popping worker's load signal,
+  /// captured under the same lock as the pop itself.
+  std::vector<SolveRequest> popBatch(sts::index_t max_rhs, bool coalesce,
+                                     std::size_t* backlog = nullptr);
 
   /// Stop dispatch: popBatch blocks even when requests are queued.
   void pause();

@@ -22,6 +22,12 @@ SolverEngine::SolverEngine(EngineOptions options) : options_(options) {
   if (options_.max_batch <= 0) {
     throw std::invalid_argument("SolverEngine: max_batch must be > 0");
   }
+  if (options_.team_size < 0) {
+    throw std::invalid_argument("SolverEngine: team_size must be >= 0");
+  }
+  if (options_.elastic_min_team < 1) {
+    throw std::invalid_argument("SolverEngine: elastic_min_team must be >= 1");
+  }
   if (options_.start_paused) queue_.pause();
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int w = 0; w < options_.num_workers; ++w) {
@@ -119,11 +125,32 @@ void SolverEngine::shutdown() {
 
 void SolverEngine::workerLoop() {
   for (;;) {
-    auto batch = queue_.popBatch(options_.max_batch, options_.coalesce);
+    std::size_t backlog = 0;
+    auto batch =
+        queue_.popBatch(options_.max_batch, options_.coalesce, &backlog);
     if (batch.empty()) return;  // closed and drained
-    executeBatch(batch);
+    executeBatch(batch, backlog);
     noteRetired(static_cast<std::int64_t>(batch.size()));
   }
+}
+
+int SolverEngine::chooseTeam(const exec::TriangularSolver& solver,
+                             std::size_t backlog) const {
+  const int width = solver.numThreads();
+  const int base = options_.team_size > 0
+                       ? std::min(options_.team_size, width)
+                       : solver.defaultTeam();
+  if (!options_.elastic) return base;
+  const std::size_t deep = options_.elastic_deep_queue > 0
+                               ? options_.elastic_deep_queue
+                               : workers_.size();
+  if (backlog < deep) return base;
+  const int workers = static_cast<int>(workers_.size());
+  const int shrunk = (base + workers - 1) / workers;
+  // min_team is raised first, then capped by base: a min_team above the
+  // base width cannot widen the team past it (and clamp's lo <= hi
+  // precondition never comes into play).
+  return std::min(std::max(shrunk, options_.elastic_min_team), base);
 }
 
 void SolverEngine::noteRetired(std::int64_t count) {
@@ -134,11 +161,14 @@ void SolverEngine::noteRetired(std::int64_t count) {
   }
 }
 
-void SolverEngine::executeBatch(std::vector<SolveRequest>& batch) {
+void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
+                                std::size_t backlog) {
   Registered& reg = registered(batch.front().solver);
   const exec::TriangularSolver& solver = *reg.solver;
   const auto n = static_cast<std::size_t>(solver.numRows());
   const std::size_t k = batch.size();
+  const int team = chooseTeam(solver, backlog);
+  const int base_team = chooseTeam(solver, 0);  // shallow-queue reference
 
   std::vector<std::vector<double>> results;
   std::exception_ptr error;
@@ -151,9 +181,10 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch) {
       total_rhs = request.nrhs;
       std::vector<double> x(request.b.size());
       if (request.nrhs == 1) {
-        solver.solve(request.b, x, lease.context());
+        solver.solve(request.b, x, lease.context(), team);
       } else {
-        solver.solveMultiRhs(request.b, x, request.nrhs, lease.context());
+        solver.solveMultiRhs(request.b, x, request.nrhs, lease.context(),
+                             team);
       }
       results.push_back(std::move(x));
     } else {
@@ -167,7 +198,8 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch) {
         for (std::size_t i = 0; i < n; ++i) b_packed[i * k + j] = b[i];
       }
       solver.solveMultiRhs(b_packed, x_packed,
-                           static_cast<sts::index_t>(k), lease.context());
+                           static_cast<sts::index_t>(k), lease.context(),
+                           team);
       results.resize(k);
       for (std::size_t j = 0; j < k; ++j) {
         auto& x = results[j];
@@ -190,6 +222,8 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch) {
 
   std::lock_guard<std::mutex> lock(reg.stats_mu);
   reg.batches += 1;
+  reg.team_size_accum += static_cast<std::uint64_t>(team);
+  if (team < base_team) reg.shrunk_batches += 1;
   reg.busy_seconds += std::chrono::duration<double>(t1 - t0).count();
   reg.last_complete = t1;
   reg.saw_complete = true;
@@ -213,34 +247,46 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch) {
 
 SolverServingStats SolverEngine::stats(SolverId id) const {
   Registered& reg = registered(id);
-  std::lock_guard<std::mutex> lock(reg.stats_mu);
   SolverServingStats out;
-  out.requests = reg.requests;
-  out.rhs_submitted = reg.rhs_submitted;
-  out.batches = reg.batches;
-  out.batches_failed = reg.batches_failed;
-  out.rhs_solved = reg.rhs_solved;
-  out.coalesced_rhs = reg.coalesced_rhs;
-  out.busy_seconds = reg.busy_seconds;
-  if (reg.batches > reg.batches_failed) {
-    // Mean realized batch size over *successful* batches only — rhs_solved
-    // excludes failed batches, so the populations must match.
-    out.mean_batch_rhs =
-        static_cast<double>(reg.rhs_solved) /
-        static_cast<double>(reg.batches - reg.batches_failed);
-  }
-  if (!reg.latency_samples.empty()) {
-    out.latency_p50_seconds = harness::quantile(reg.latency_samples, 0.5);
-    out.latency_p95_seconds = harness::quantile(reg.latency_samples, 0.95);
-  }
-  if (reg.saw_submit && reg.saw_complete) {
-    const double window =
-        std::chrono::duration<double>(reg.last_complete - reg.first_submit)
-            .count();
-    if (window > 0.0) {
-      out.throughput_rhs_per_second =
-          static_cast<double>(reg.rhs_solved) / window;
+  std::vector<double> samples;
+  {
+    // stats_mu also serializes the submit and batch-completion hot paths,
+    // so only O(1) field reads and a flat memcpy of the latency ring happen
+    // under it; the O(n log n) quantile sort runs on the snapshot outside.
+    std::lock_guard<std::mutex> lock(reg.stats_mu);
+    out.requests = reg.requests;
+    out.rhs_submitted = reg.rhs_submitted;
+    out.batches = reg.batches;
+    out.batches_failed = reg.batches_failed;
+    out.rhs_solved = reg.rhs_solved;
+    out.coalesced_rhs = reg.coalesced_rhs;
+    out.shrunk_batches = reg.shrunk_batches;
+    out.busy_seconds = reg.busy_seconds;
+    if (reg.batches > 0) {
+      out.mean_team_size = static_cast<double>(reg.team_size_accum) /
+                           static_cast<double>(reg.batches);
     }
+    if (reg.batches > reg.batches_failed) {
+      // Mean realized batch size over *successful* batches only —
+      // rhs_solved excludes failed batches, so the populations must match.
+      out.mean_batch_rhs =
+          static_cast<double>(reg.rhs_solved) /
+          static_cast<double>(reg.batches - reg.batches_failed);
+    }
+    samples = reg.latency_samples;
+    if (reg.saw_submit && reg.saw_complete) {
+      const double window =
+          std::chrono::duration<double>(reg.last_complete - reg.first_submit)
+              .count();
+      if (window > 0.0) {
+        out.throughput_rhs_per_second =
+            static_cast<double>(reg.rhs_solved) / window;
+      }
+    }
+  }
+  if (!samples.empty()) {
+    out.latency_p50_seconds = harness::quantile(samples, 0.5);
+    out.latency_p95_seconds = harness::quantile(samples, 0.95);
   }
   return out;
 }

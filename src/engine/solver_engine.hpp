@@ -40,6 +40,12 @@
 ///  * Reentrancy comes from the SolveContext contract (solve_context.hpp):
 ///    every in-flight batch leases a context from a per-solver
 ///    ContextPool; the solver itself is shared immutable state.
+///  * Elasticity (EngineOptions::elastic): the per-batch OpenMP team size
+///    adapts to load. A deep queue shrinks teams — schedule folding makes
+///    any team size t <= numThreads() bitwise-lossless — so the engine
+///    trades per-solve parallelism for cross-solve concurrency exactly
+///    when the backlog can use it; a shallow queue keeps full-width solves
+///    for latency. Team choices are reported in SolverServingStats.
 ///  * Per-solver throughput/latency statistics aggregate via the
 ///    harness::stats quantile helpers (SolverServingStats).
 
@@ -88,6 +94,8 @@ class SolverEngine {
   const exec::TriangularSolver& solver(SolverId id) const;
   int numWorkers() const { return static_cast<int>(workers_.size()); }
   const EngineOptions& options() const { return options_; }
+  /// Requests queued but not yet popped into a batch (load signal).
+  std::size_t queueDepth() const { return queue_.size(); }
 
  private:
   struct Registered {
@@ -101,6 +109,8 @@ class SolverEngine {
     std::uint64_t batches_failed = 0;
     std::uint64_t rhs_solved = 0;
     std::uint64_t coalesced_rhs = 0;
+    std::uint64_t shrunk_batches = 0;
+    std::uint64_t team_size_accum = 0;
     double busy_seconds = 0.0;
     /// Ring buffer of recent request latencies in seconds (quantiles track
     /// the last kMaxLatencySamples completions, not server birth).
@@ -113,7 +123,13 @@ class SolverEngine {
   };
 
   void workerLoop();
-  void executeBatch(std::vector<SolveRequest>& batch);
+  void executeBatch(std::vector<SolveRequest>& batch, std::size_t backlog);
+  /// The elasticity policy: per-batch OpenMP team size from queue depth.
+  /// Deep queue => shrink toward base/num_workers so more batches run
+  /// concurrently; shallow queue => the base width for minimum latency.
+  /// Folding keeps every choice bitwise-lossless (solver.hpp contract).
+  int chooseTeam(const exec::TriangularSolver& solver,
+                 std::size_t backlog) const;
   /// Retires `count` in-flight submissions; wakes drain() on zero. Every
   /// in_flight_ decrement must go through here or drain() can sleep
   /// through the last completion.

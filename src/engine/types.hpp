@@ -1,6 +1,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <future>
 #include <vector>
@@ -34,6 +35,24 @@ struct EngineOptions {
   /// Start with dispatch paused; submissions queue up until resume().
   /// Lets benchmarks and tests stage a backlog deterministically.
   bool start_paused = false;
+
+  /// Per-batch OpenMP team size (clamped to the solver's analyzed width).
+  /// 0 = the solver's defaultTeam(). Without `elastic` this pins every
+  /// batch (a benchmarking knob); with `elastic` it sets the base width
+  /// the policy shrinks from under load.
+  int team_size = 0;
+  /// Load-adaptive team sizing: a deep queue trades per-solve parallelism
+  /// for cross-solve concurrency — batches run on shrunk teams (the base
+  /// width divided across the workers) so more of them execute at once; a
+  /// shallow queue keeps full-width solves for minimum latency. Schedule
+  /// folding makes every team choice bitwise-lossless.
+  bool elastic = false;
+  /// Smallest team the elastic policy may choose (>= 1; values above the
+  /// base width are capped by it).
+  int elastic_min_team = 1;
+  /// Queue depth (requests still pending at batch pop) at or above which
+  /// the elastic policy shrinks teams. 0 = num_workers.
+  std::size_t elastic_deep_queue = 0;
 };
 
 /// One queued solve. `b` is row-major n x nrhs in the ORIGINAL row
@@ -56,6 +75,10 @@ struct SolverServingStats {
   double mean_batch_rhs = 0.0;       ///< rhs_solved / successful batches
   std::uint64_t coalesced_rhs = 0;   ///< RHS solved in multi-request batches
   double busy_seconds = 0.0;         ///< summed batch execution time
+  /// Batches executed on a team smaller than the elastic base width (only
+  /// the adaptive policy shrinks; a fixed team_size is the base itself).
+  std::uint64_t shrunk_batches = 0;
+  double mean_team_size = 0.0;       ///< average OpenMP team per batch
   double latency_p50_seconds = 0.0;  ///< request submit -> completion
   double latency_p95_seconds = 0.0;
   /// rhs_solved / (last completion - first submission); 0 until the first

@@ -34,75 +34,100 @@ BspExecutor::BspExecutor(const CsrMatrix& lower, const Schedule& schedule)
       ptr.push_back(static_cast<offset_t>(verts.size()));
     }
   }
+  folded_.init(num_threads_);
+}
+
+const detail::FoldedLists& BspExecutor::foldedPlan(int team) const {
+  return folded_.get(team, [this](int t) {
+    return detail::foldThreadLists(thread_verts_, thread_step_ptr_,
+                                   num_supersteps_, t);
+  });
 }
 
 void BspExecutor::solve(std::span<const double> b, std::span<double> x,
-                        SolveContext& ctx) const {
+                        SolveContext& ctx, int team) const {
   requireVectorSizes(lower_, b, x, 1, "BspExecutor::solve");
-  ctx.requireShape(num_threads_, lower_.rows(), "BspExecutor::solve");
+  detail::requireTeamSize(team, num_threads_, "BspExecutor::solve");
+  ctx.requireShape(team, lower_.rows(), "BspExecutor::solve");
+  const detail::FoldedLists* plan =
+      team == num_threads_ ? nullptr : &foldedPlan(team);
   const auto row_ptr = lower_.rowPtr();
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
   const index_t steps = num_supersteps_;
-  const bool sync = num_threads_ > 1;
+  const bool sync = team > 1;
   SpinBarrier& barrier = ctx.barrier_;
 
   omp_set_dynamic(0);
-#pragma omp parallel num_threads(num_threads_)
+#pragma omp parallel num_threads(team)
   {
-    const int t = omp_get_thread_num();
+    const auto t = static_cast<size_t>(omp_get_thread_num());
     int sense = barrier.initialSense();
-    const auto& verts = thread_verts_[static_cast<size_t>(t)];
-    const auto& ptr = thread_step_ptr_[static_cast<size_t>(t)];
+    const auto& verts = plan ? plan->verts[t] : thread_verts_[t];
+    const auto& ptr = plan ? plan->step_ptr[t] : thread_step_ptr_[t];
     for (index_t s = 0; s < steps; ++s) {
       const auto begin = static_cast<size_t>(ptr[static_cast<size_t>(s)]);
       const auto end = static_cast<size_t>(ptr[static_cast<size_t>(s) + 1]);
       for (size_t k = begin; k < end; ++k) {
         computeRow(row_ptr, col_idx, values, b, x, verts[k]);
       }
-      if (sync) barrier.wait(sense);
+      if (sync) barrier.wait(sense, team);
     }
   }
 }
 
+void BspExecutor::solve(std::span<const double> b, std::span<double> x,
+                        SolveContext& ctx) const {
+  solve(b, x, ctx, num_threads_);
+}
+
 void BspExecutor::solve(std::span<const double> b, std::span<double> x) const {
-  solve(b, x, default_ctx_);
+  solve(b, x, default_ctx_, num_threads_);
 }
 
 void BspExecutor::solveMultiRhs(std::span<const double> b,
                                 std::span<double> x, index_t nrhs,
-                                SolveContext& ctx) const {
+                                SolveContext& ctx, int team) const {
   requireVectorSizes(lower_, b, x, nrhs, "BspExecutor::solveMultiRhs");
-  ctx.requireShape(num_threads_, lower_.rows(), "BspExecutor::solveMultiRhs");
+  detail::requireTeamSize(team, num_threads_, "BspExecutor::solveMultiRhs");
+  ctx.requireShape(team, lower_.rows(), "BspExecutor::solveMultiRhs");
+  const detail::FoldedLists* plan =
+      team == num_threads_ ? nullptr : &foldedPlan(team);
   const auto row_ptr = lower_.rowPtr();
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
   const index_t steps = num_supersteps_;
-  const bool sync = num_threads_ > 1;
+  const bool sync = team > 1;
   const auto r = static_cast<size_t>(nrhs);
   SpinBarrier& barrier = ctx.barrier_;
 
   omp_set_dynamic(0);
-#pragma omp parallel num_threads(num_threads_)
+#pragma omp parallel num_threads(team)
   {
-    const int t = omp_get_thread_num();
+    const auto t = static_cast<size_t>(omp_get_thread_num());
     int sense = barrier.initialSense();
-    const auto& verts = thread_verts_[static_cast<size_t>(t)];
-    const auto& ptr = thread_step_ptr_[static_cast<size_t>(t)];
+    const auto& verts = plan ? plan->verts[t] : thread_verts_[t];
+    const auto& ptr = plan ? plan->step_ptr[t] : thread_step_ptr_[t];
     for (index_t s = 0; s < steps; ++s) {
       const auto begin = static_cast<size_t>(ptr[static_cast<size_t>(s)]);
       const auto end = static_cast<size_t>(ptr[static_cast<size_t>(s) + 1]);
       for (size_t k = begin; k < end; ++k) {
         computeRowMulti(row_ptr, col_idx, values, b, x, verts[k], r);
       }
-      if (sync) barrier.wait(sense);
+      if (sync) barrier.wait(sense, team);
     }
   }
 }
 
 void BspExecutor::solveMultiRhs(std::span<const double> b,
+                                std::span<double> x, index_t nrhs,
+                                SolveContext& ctx) const {
+  solveMultiRhs(b, x, nrhs, ctx, num_threads_);
+}
+
+void BspExecutor::solveMultiRhs(std::span<const double> b,
                                 std::span<double> x, index_t nrhs) const {
-  solveMultiRhs(b, x, nrhs, default_ctx_);
+  solveMultiRhs(b, x, nrhs, default_ctx_, num_threads_);
 }
 
 ContiguousBspExecutor::ContiguousBspExecutor(const CsrMatrix& permuted_lower,
@@ -121,83 +146,176 @@ ContiguousBspExecutor::ContiguousBspExecutor(const CsrMatrix& permuted_lower,
       group_ptr_.back() != static_cast<offset_t>(permuted_lower.rows())) {
     throw std::invalid_argument("ContiguousBspExecutor: bad group_ptr");
   }
+  folded_.init(num_threads_);
+}
+
+const ContiguousBspExecutor::FoldedRanges&
+ContiguousBspExecutor::foldedPlan(int team) const {
+  return folded_.get(team, [this](int t) {
+    FoldedRanges plan;
+    plan.range_ptr.reserve(static_cast<size_t>(num_supersteps_) *
+                               static_cast<size_t>(t) + 1);
+    plan.range_ptr.push_back(0);
+    for (index_t s = 0; s < num_supersteps_; ++s) {
+      for (int q = 0; q < t; ++q) {
+        for (int p = q; p < num_threads_; p += t) {
+          const size_t g = static_cast<size_t>(s) *
+                               static_cast<size_t>(num_threads_) +
+                           static_cast<size_t>(p);
+          const auto lo = static_cast<index_t>(group_ptr_[g]);
+          const auto hi = static_cast<index_t>(group_ptr_[g + 1]);
+          if (lo == hi) continue;
+          if (!plan.ranges.empty() &&
+              plan.range_ptr.back() !=
+                  static_cast<offset_t>(plan.ranges.size()) &&
+              plan.ranges.back().second == lo) {
+            plan.ranges.back().second = hi;  // merge adjacent runs
+          } else {
+            plan.ranges.emplace_back(lo, hi);
+          }
+        }
+        plan.range_ptr.push_back(static_cast<offset_t>(plan.ranges.size()));
+      }
+    }
+    return plan;
+  });
+}
+
+void ContiguousBspExecutor::solve(std::span<const double> b,
+                                  std::span<double> x, SolveContext& ctx,
+                                  int team) const {
+  requireVectorSizes(lower_, b, x, 1, "ContiguousBspExecutor::solve");
+  detail::requireTeamSize(team, num_threads_, "ContiguousBspExecutor::solve");
+  ctx.requireShape(team, lower_.rows(), "ContiguousBspExecutor::solve");
+  const auto row_ptr = lower_.rowPtr();
+  const auto col_idx = lower_.colIdx();
+  const auto values = lower_.values();
+  const index_t steps = num_supersteps_;
+  const bool sync = team > 1;
+  SpinBarrier& barrier = ctx.barrier_;
+
+  omp_set_dynamic(0);
+  if (team == num_threads_) {
+    const int cores = num_threads_;
+#pragma omp parallel num_threads(cores)
+    {
+      const int t = omp_get_thread_num();
+      int sense = barrier.initialSense();
+      for (index_t s = 0; s < steps; ++s) {
+        const size_t g = static_cast<size_t>(s) * static_cast<size_t>(cores) +
+                         static_cast<size_t>(t);
+        const auto lo = static_cast<index_t>(group_ptr_[g]);
+        const auto hi = static_cast<index_t>(group_ptr_[g + 1]);
+        for (index_t i = lo; i < hi; ++i) {
+          computeRow(row_ptr, col_idx, values, b, x, i);
+        }
+        if (sync) barrier.wait(sense, team);
+      }
+    }
+    return;
+  }
+
+  const FoldedRanges& plan = foldedPlan(team);
+#pragma omp parallel num_threads(team)
+  {
+    const int t = omp_get_thread_num();
+    int sense = barrier.initialSense();
+    for (index_t s = 0; s < steps; ++s) {
+      const size_t g = static_cast<size_t>(s) * static_cast<size_t>(team) +
+                       static_cast<size_t>(t);
+      const auto begin = static_cast<size_t>(plan.range_ptr[g]);
+      const auto end = static_cast<size_t>(plan.range_ptr[g + 1]);
+      for (size_t k = begin; k < end; ++k) {
+        const auto [lo, hi] = plan.ranges[k];
+        for (index_t i = lo; i < hi; ++i) {
+          computeRow(row_ptr, col_idx, values, b, x, i);
+        }
+      }
+      if (sync) barrier.wait(sense, team);
+    }
+  }
 }
 
 void ContiguousBspExecutor::solve(std::span<const double> b,
                                   std::span<double> x,
                                   SolveContext& ctx) const {
-  requireVectorSizes(lower_, b, x, 1, "ContiguousBspExecutor::solve");
-  ctx.requireShape(num_threads_, lower_.rows(),
-                   "ContiguousBspExecutor::solve");
-  const auto row_ptr = lower_.rowPtr();
-  const auto col_idx = lower_.colIdx();
-  const auto values = lower_.values();
-  const index_t steps = num_supersteps_;
-  const int cores = num_threads_;
-  const bool sync = cores > 1;
-  SpinBarrier& barrier = ctx.barrier_;
-
-  omp_set_dynamic(0);
-#pragma omp parallel num_threads(cores)
-  {
-    const int t = omp_get_thread_num();
-    int sense = barrier.initialSense();
-    for (index_t s = 0; s < steps; ++s) {
-      const size_t g = static_cast<size_t>(s) * static_cast<size_t>(cores) +
-                       static_cast<size_t>(t);
-      const auto lo = static_cast<index_t>(group_ptr_[g]);
-      const auto hi = static_cast<index_t>(group_ptr_[g + 1]);
-      for (index_t i = lo; i < hi; ++i) {
-        computeRow(row_ptr, col_idx, values, b, x, i);
-      }
-      if (sync) barrier.wait(sense);
-    }
-  }
+  solve(b, x, ctx, num_threads_);
 }
 
 void ContiguousBspExecutor::solve(std::span<const double> b,
                                   std::span<double> x) const {
-  solve(b, x, default_ctx_);
+  solve(b, x, default_ctx_, num_threads_);
 }
 
 void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
                                           std::span<double> x, index_t nrhs,
-                                          SolveContext& ctx) const {
+                                          SolveContext& ctx, int team) const {
   requireVectorSizes(lower_, b, x, nrhs,
                      "ContiguousBspExecutor::solveMultiRhs");
-  ctx.requireShape(num_threads_, lower_.rows(),
+  detail::requireTeamSize(team, num_threads_,
+                          "ContiguousBspExecutor::solveMultiRhs");
+  ctx.requireShape(team, lower_.rows(),
                    "ContiguousBspExecutor::solveMultiRhs");
   const auto row_ptr = lower_.rowPtr();
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
   const index_t steps = num_supersteps_;
-  const int cores = num_threads_;
-  const bool sync = cores > 1;
+  const bool sync = team > 1;
   const auto r = static_cast<size_t>(nrhs);
   SpinBarrier& barrier = ctx.barrier_;
 
   omp_set_dynamic(0);
+  if (team == num_threads_) {
+    const int cores = num_threads_;
 #pragma omp parallel num_threads(cores)
+    {
+      const int t = omp_get_thread_num();
+      int sense = barrier.initialSense();
+      for (index_t s = 0; s < steps; ++s) {
+        const size_t g = static_cast<size_t>(s) * static_cast<size_t>(cores) +
+                         static_cast<size_t>(t);
+        const auto lo = static_cast<index_t>(group_ptr_[g]);
+        const auto hi = static_cast<index_t>(group_ptr_[g + 1]);
+        for (index_t i = lo; i < hi; ++i) {
+          computeRowMulti(row_ptr, col_idx, values, b, x, i, r);
+        }
+        if (sync) barrier.wait(sense, team);
+      }
+    }
+    return;
+  }
+
+  const FoldedRanges& plan = foldedPlan(team);
+#pragma omp parallel num_threads(team)
   {
     const int t = omp_get_thread_num();
     int sense = barrier.initialSense();
     for (index_t s = 0; s < steps; ++s) {
-      const size_t g = static_cast<size_t>(s) * static_cast<size_t>(cores) +
+      const size_t g = static_cast<size_t>(s) * static_cast<size_t>(team) +
                        static_cast<size_t>(t);
-      const auto lo = static_cast<index_t>(group_ptr_[g]);
-      const auto hi = static_cast<index_t>(group_ptr_[g + 1]);
-      for (index_t i = lo; i < hi; ++i) {
-        computeRowMulti(row_ptr, col_idx, values, b, x, i, r);
+      const auto begin = static_cast<size_t>(plan.range_ptr[g]);
+      const auto end = static_cast<size_t>(plan.range_ptr[g + 1]);
+      for (size_t k = begin; k < end; ++k) {
+        const auto [lo, hi] = plan.ranges[k];
+        for (index_t i = lo; i < hi; ++i) {
+          computeRowMulti(row_ptr, col_idx, values, b, x, i, r);
+        }
       }
-      if (sync) barrier.wait(sense);
+      if (sync) barrier.wait(sense, team);
     }
   }
 }
 
 void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
+                                          std::span<double> x, index_t nrhs,
+                                          SolveContext& ctx) const {
+  solveMultiRhs(b, x, nrhs, ctx, num_threads_);
+}
+
+void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
                                           std::span<double> x,
                                           index_t nrhs) const {
-  solveMultiRhs(b, x, nrhs, default_ctx_);
+  solveMultiRhs(b, x, nrhs, default_ctx_, num_threads_);
 }
 
 }  // namespace sts::exec

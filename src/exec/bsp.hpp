@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/schedule.hpp"
+#include "exec/elastic.hpp"
 #include "exec/solve_context.hpp"
 #include "sparse/csr.hpp"
 
@@ -20,6 +21,12 @@
 /// are `const` and safe to call concurrently as long as every concurrent
 /// solve uses its own context. The context-free overloads run on a shared
 /// built-in context and therefore remain one-solve-at-a-time.
+///
+/// Elasticity: every context-taking overload accepts a per-solve `team`
+/// size 1 <= team <= numThreads(). The schedule executes folded (rank
+/// p -> p mod team, see elastic.hpp); results are bitwise equal to the
+/// full-width solve. Folded plans are cached per team size — construction
+/// cost is paid once, concurrent solves at mixed team sizes are safe.
 
 namespace sts::exec {
 
@@ -36,8 +43,13 @@ class BspExecutor {
   /// matrix but not the schedule (O(V·E) validation is opt-in).
   BspExecutor(const CsrMatrix& lower, const Schedule& schedule);
 
-  /// x = L^{-1} b using `num_threads()` OpenMP threads; `ctx` carries the
-  /// superstep barrier. Concurrent solves need distinct contexts.
+  /// x = L^{-1} b on a `team`-thread OpenMP team (the schedule folded to
+  /// `team` ranks); `ctx` carries the superstep barrier. Concurrent solves
+  /// need distinct contexts. Throws std::invalid_argument unless
+  /// 1 <= team <= numThreads().
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx, int team) const;
+  /// Full-width team.
   void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx) const;
   /// Convenience overload on the built-in context (one solve at a time).
@@ -46,6 +58,8 @@ class BspExecutor {
   /// SpTRSM: X = L^{-1} B, both n x nrhs row-major. The schedule is
   /// RHS-count agnostic — each vertex simply carries nrhs times the work,
   /// so the barrier cost is amortized across the nrhs solves.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx, int team) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs, SolveContext& ctx) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
@@ -60,6 +74,9 @@ class BspExecutor {
   index_t numSupersteps() const { return num_supersteps_; }
 
  private:
+  /// The folded work lists for `team` < numThreads(), cached per size.
+  const detail::FoldedLists& foldedPlan(int team) const;
+
   const CsrMatrix& lower_;
   int num_threads_ = 0;
   index_t num_supersteps_ = 0;
@@ -67,6 +84,7 @@ class BspExecutor {
   /// thread_verts_[t] with boundaries thread_step_ptr_[t][s].
   std::vector<std::vector<index_t>> thread_verts_;
   std::vector<std::vector<offset_t>> thread_step_ptr_;
+  detail::TeamPlanCache<detail::FoldedLists> folded_;
   /// Backs the context-free overloads; mutable per-solve state only.
   mutable SolveContext default_ctx_;
 };
@@ -81,12 +99,18 @@ class ContiguousBspExecutor {
                         index_t num_supersteps, int num_cores,
                         std::vector<offset_t> group_ptr);
 
+  /// Folded team solve: thread q executes the row ranges of original ranks
+  /// q, q+team, ... per superstep. 1 <= team <= numThreads().
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx, int team) const;
   void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx) const;
   void solve(std::span<const double> b, std::span<double> x) const;
 
   /// SpTRSM over the contiguous row ranges: X = L^{-1} B, n x nrhs
   /// row-major, one barrier per superstep regardless of nrhs.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx, int team) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs, SolveContext& ctx) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
@@ -100,10 +124,24 @@ class ContiguousBspExecutor {
   index_t numSupersteps() const { return num_supersteps_; }
 
  private:
+  /// Folded plan for team < numThreads(): folded thread q's superstep-s
+  /// work is a short list of contiguous row runs (one per surviving
+  /// original rank, adjacent runs merged). Must implement the same rank
+  /// map and concatenation order as Schedule::foldTo / foldThreadLists —
+  /// test_elastic pins the implementations to each other.
+  struct FoldedRanges {
+    /// Runs of group (s, q) are ranges[range_ptr[s * team + q] ..
+    /// range_ptr[s * team + q + 1]).
+    std::vector<offset_t> range_ptr;
+    std::vector<std::pair<index_t, index_t>> ranges;  ///< [lo, hi) rows
+  };
+  const FoldedRanges& foldedPlan(int team) const;
+
   const CsrMatrix& lower_;
   index_t num_supersteps_ = 0;
   int num_threads_ = 0;
   std::vector<offset_t> group_ptr_;
+  detail::TeamPlanCache<FoldedRanges> folded_;
   mutable SolveContext default_ctx_;
 };
 

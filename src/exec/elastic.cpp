@@ -1,0 +1,40 @@
+#include "exec/elastic.hpp"
+
+namespace sts::exec::detail {
+
+FoldedLists foldThreadLists(
+    const std::vector<std::vector<sts::index_t>>& verts,
+    const std::vector<std::vector<sts::offset_t>>& step_ptr,
+    sts::index_t num_steps, int team) {
+  const int width = static_cast<int>(verts.size());
+  requireTeamSize(team, width, "foldThreadLists");
+
+  FoldedLists folded;
+  folded.verts.resize(static_cast<std::size_t>(team));
+  folded.step_ptr.resize(static_cast<std::size_t>(team));
+  for (int q = 0; q < team; ++q) {
+    auto& out = folded.verts[static_cast<std::size_t>(q)];
+    auto& ptr = folded.step_ptr[static_cast<std::size_t>(q)];
+    std::size_t total = 0;
+    for (int p = q; p < width; p += team) {
+      total += verts[static_cast<std::size_t>(p)].size();
+    }
+    out.reserve(total);
+    ptr.reserve(static_cast<std::size_t>(num_steps) + 1);
+    ptr.push_back(0);
+    for (sts::index_t s = 0; s < num_steps; ++s) {
+      for (int p = q; p < width; p += team) {
+        const auto& src = verts[static_cast<std::size_t>(p)];
+        const auto& src_ptr = step_ptr[static_cast<std::size_t>(p)];
+        const auto begin = static_cast<std::size_t>(src_ptr[static_cast<std::size_t>(s)]);
+        const auto end = static_cast<std::size_t>(src_ptr[static_cast<std::size_t>(s) + 1]);
+        out.insert(out.end(), src.begin() + static_cast<std::ptrdiff_t>(begin),
+                   src.begin() + static_cast<std::ptrdiff_t>(end));
+      }
+      ptr.push_back(static_cast<sts::offset_t>(out.size()));
+    }
+  }
+  return folded;
+}
+
+}  // namespace sts::exec::detail

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+/// \file elastic.hpp
+/// Elastic-execution support shared by the executors: folding full-width
+/// per-thread work lists onto a smaller team (the executor-side image of
+/// core::Schedule::foldTo — folded thread q owns every original rank
+/// p ≡ q (mod team), supersteps preserved) and a lazily built, immutable
+/// cache of one such plan per team size. Folding is lossless: the folded
+/// execution computes every row with the same operands in a
+/// dependency-respecting order, so results are bitwise equal to the
+/// full-width solve.
+
+namespace sts::exec::detail {
+
+/// Per-thread superstep-major work lists, the executor's native shape:
+/// verts[t] holds thread t's vertices with step boundaries step_ptr[t][s].
+struct FoldedLists {
+  std::vector<std::vector<sts::index_t>> verts;
+  std::vector<std::vector<sts::offset_t>> step_ptr;
+};
+
+/// Folds `width`-thread work lists onto `team` threads (1 <= team < width):
+/// folded thread q's superstep-s segment concatenates the superstep-s
+/// segments of original threads q, q+team, q+2*team, ... in ascending rank.
+FoldedLists foldThreadLists(
+    const std::vector<std::vector<sts::index_t>>& verts,
+    const std::vector<std::vector<sts::offset_t>>& step_ptr,
+    sts::index_t num_steps, int team);
+
+/// Throws std::invalid_argument unless 1 <= team <= width.
+inline void requireTeamSize(int team, int width, const char* who) {
+  if (team < 1 || team > width) {
+    throw std::invalid_argument(std::string(who) + ": team size " +
+                                std::to_string(team) +
+                                " outside [1, " + std::to_string(width) + "]");
+  }
+}
+
+/// Lazily built per-team-size execution plans. Plans are immutable once
+/// published, so the fast path is a single acquire load; the first solve at
+/// a given team size builds the plan under a mutex (concurrent solves at
+/// other team sizes proceed on their published plans meanwhile — only
+/// concurrent *builds* serialize).
+template <typename Plan>
+class TeamPlanCache {
+ public:
+  /// Sizes the cache for team sizes 1..max_team. Call once, from the
+  /// executor constructor, before any concurrent use.
+  void init(int max_team) {
+    slots_ = std::make_unique<Slot[]>(static_cast<std::size_t>(max_team) + 1);
+    max_team_ = max_team;
+  }
+
+  /// The plan for `team`, building it via `build(team)` on first request.
+  template <typename BuildFn>
+  const Plan& get(int team, BuildFn&& build) const {
+    Slot& slot = slots_[static_cast<std::size_t>(team)];
+    if (const Plan* plan = slot.published.load(std::memory_order_acquire)) {
+      return *plan;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const Plan* plan = slot.published.load(std::memory_order_relaxed)) {
+      return *plan;
+    }
+    slot.owned = std::make_unique<const Plan>(build(team));
+    slot.published.store(slot.owned.get(), std::memory_order_release);
+    return *slot.owned;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<const Plan*> published{nullptr};
+    std::unique_ptr<const Plan> owned;
+  };
+  mutable std::mutex mu_;
+  std::unique_ptr<Slot[]> slots_;
+  int max_team_ = 0;
+};
+
+}  // namespace sts::exec::detail

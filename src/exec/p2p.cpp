@@ -14,6 +14,7 @@ P2pExecutor::P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
                          const Dag& sync_dag)
     : lower_(lower),
       num_threads_(schedule.numCores()),
+      num_supersteps_(schedule.numSupersteps()),
       default_ctx_(schedule.numCores(), lower.rows()) {
   requireSolvableLower(lower);
   const index_t n = lower.rows();
@@ -22,13 +23,18 @@ P2pExecutor::P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
   }
 
   thread_verts_.resize(static_cast<size_t>(num_threads_));
+  thread_step_ptr_.resize(static_cast<size_t>(num_threads_));
   for (int t = 0; t < num_threads_; ++t) {
     auto& verts = thread_verts_[static_cast<size_t>(t)];
+    auto& ptr = thread_step_ptr_[static_cast<size_t>(t)];
+    ptr.push_back(0);
     for (index_t s = 0; s < schedule.numSupersteps(); ++s) {
       const auto group = schedule.group(s, t);
       verts.insert(verts.end(), group.begin(), group.end());
+      ptr.push_back(static_cast<offset_t>(verts.size()));
     }
   }
+  folded_.init(num_threads_);
 
   // Cross-thread parents in the sync DAG, flattened per vertex.
   wait_ptr_.assign(static_cast<size_t>(n) + 1, 0);
@@ -54,10 +60,20 @@ P2pExecutor::P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
   cross_deps_ = wait_ptr_.back();
 }
 
+const detail::FoldedLists& P2pExecutor::foldedPlan(int team) const {
+  return folded_.get(team, [this](int t) {
+    return detail::foldThreadLists(thread_verts_, thread_step_ptr_,
+                                   num_supersteps_, t);
+  });
+}
+
 void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
-                        SolveContext& ctx) const {
+                        SolveContext& ctx, int team) const {
   detail::requireVectorSizes(lower_, b, x, 1, "P2pExecutor::solve");
-  ctx.requireShape(num_threads_, lower_.rows(), "P2pExecutor::solve");
+  detail::requireTeamSize(team, num_threads_, "P2pExecutor::solve");
+  ctx.requireShape(team, lower_.rows(), "P2pExecutor::solve");
+  const detail::FoldedLists* plan =
+      team == num_threads_ ? nullptr : &foldedPlan(team);
   const auto row_ptr = lower_.rowPtr();
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
@@ -67,12 +83,14 @@ void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
   // A dynamically shrunk team would strand the spin-waits on vertices of
   // the missing threads; pin the team size like the BSP paths do.
   omp_set_dynamic(0);
-#pragma omp parallel num_threads(num_threads_)
+#pragma omp parallel num_threads(team)
   {
-    const int t = omp_get_thread_num();
-    const auto& verts = thread_verts_[static_cast<size_t>(t)];
+    const auto t = static_cast<size_t>(omp_get_thread_num());
+    const auto& verts = plan ? plan->verts[t] : thread_verts_[t];
     for (const index_t i : verts) {
       // Wait for cross-thread dependencies (sparsified by the reduction).
+      // Under a folded team some of these sources live on this very
+      // thread, earlier in the list — their flags are already set.
       for (offset_t k = wait_ptr_[static_cast<size_t>(i)];
            k < wait_ptr_[static_cast<size_t>(i) + 1]; ++k) {
         const auto u = static_cast<size_t>(wait_adj_[static_cast<size_t>(k)]);
@@ -86,15 +104,23 @@ void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
   }
 }
 
+void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
+                        SolveContext& ctx) const {
+  solve(b, x, ctx, num_threads_);
+}
+
 void P2pExecutor::solve(std::span<const double> b, std::span<double> x) const {
-  solve(b, x, default_ctx_);
+  solve(b, x, default_ctx_, num_threads_);
 }
 
 void P2pExecutor::solveMultiRhs(std::span<const double> b,
                                 std::span<double> x, index_t nrhs,
-                                SolveContext& ctx) const {
+                                SolveContext& ctx, int team) const {
   detail::requireVectorSizes(lower_, b, x, nrhs, "P2pExecutor::solveMultiRhs");
-  ctx.requireShape(num_threads_, lower_.rows(), "P2pExecutor::solveMultiRhs");
+  detail::requireTeamSize(team, num_threads_, "P2pExecutor::solveMultiRhs");
+  ctx.requireShape(team, lower_.rows(), "P2pExecutor::solveMultiRhs");
+  const detail::FoldedLists* plan =
+      team == num_threads_ ? nullptr : &foldedPlan(team);
   const auto row_ptr = lower_.rowPtr();
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
@@ -105,10 +131,10 @@ void P2pExecutor::solveMultiRhs(std::span<const double> b,
   // A dynamically shrunk team would strand the spin-waits on vertices of
   // the missing threads; pin the team size like the BSP paths do.
   omp_set_dynamic(0);
-#pragma omp parallel num_threads(num_threads_)
+#pragma omp parallel num_threads(team)
   {
-    const int t = omp_get_thread_num();
-    const auto& verts = thread_verts_[static_cast<size_t>(t)];
+    const auto t = static_cast<size_t>(omp_get_thread_num());
+    const auto& verts = plan ? plan->verts[t] : thread_verts_[t];
     for (const index_t i : verts) {
       for (offset_t k = wait_ptr_[static_cast<size_t>(i)];
            k < wait_ptr_[static_cast<size_t>(i) + 1]; ++k) {
@@ -123,8 +149,14 @@ void P2pExecutor::solveMultiRhs(std::span<const double> b,
 }
 
 void P2pExecutor::solveMultiRhs(std::span<const double> b,
+                                std::span<double> x, index_t nrhs,
+                                SolveContext& ctx) const {
+  solveMultiRhs(b, x, nrhs, ctx, num_threads_);
+}
+
+void P2pExecutor::solveMultiRhs(std::span<const double> b,
                                 std::span<double> x, index_t nrhs) const {
-  solveMultiRhs(b, x, nrhs, default_ctx_);
+  solveMultiRhs(b, x, nrhs, default_ctx_, num_threads_);
 }
 
 }  // namespace sts::exec

@@ -6,6 +6,7 @@
 
 #include "core/schedule.hpp"
 #include "dag/dag.hpp"
+#include "exec/elastic.hpp"
 #include "exec/solve_context.hpp"
 #include "sparse/csr.hpp"
 
@@ -23,6 +24,14 @@
 /// SolveContext, so concurrent solves with distinct contexts are safe. The
 /// context-free overloads share a built-in context and remain
 /// one-solve-at-a-time.
+///
+/// Elasticity: the context-taking overloads accept a per-solve `team` size;
+/// the vertex lists fold (rank p -> p mod team, superstep-major order
+/// preserved) while the wait lists stay fixed — a dependency whose source
+/// folds onto the waiter's own thread is computed earlier in that thread's
+/// list, so its spin resolves immediately. Deadlock freedom carries over
+/// because folded cross-thread parents still sit in strictly earlier
+/// supersteps.
 
 namespace sts::exec {
 
@@ -41,14 +50,19 @@ class P2pExecutor {
   P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
               const Dag& sync_dag);
 
-  /// x = L^{-1} b; `ctx` carries the epoch-stamped completion flags.
-  /// Concurrent solves need distinct contexts.
+  /// x = L^{-1} b on a `team`-thread folded execution; `ctx` carries the
+  /// epoch-stamped completion flags. Concurrent solves need distinct
+  /// contexts. 1 <= team <= numThreads().
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx, int team) const;
   void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx) const;
   void solve(std::span<const double> b, std::span<double> x) const;
 
   /// SpTRSM: X = L^{-1} B, both n x nrhs row-major; one completion-flag
   /// store per vertex regardless of nrhs.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx, int team) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs, SolveContext& ctx) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
@@ -65,16 +79,22 @@ class P2pExecutor {
   offset_t numCrossDependencies() const { return cross_deps_; }
 
  private:
+  const detail::FoldedLists& foldedPlan(int team) const;
+
   const CsrMatrix& lower_;
   int num_threads_ = 0;
+  index_t num_supersteps_ = 0;
   offset_t cross_deps_ = 0;
 
-  /// Per-thread vertex execution order.
+  /// Per-thread vertex execution order, with superstep boundaries kept so
+  /// the lists can fold onto smaller teams (elastic.hpp).
   std::vector<std::vector<index_t>> thread_verts_;
+  std::vector<std::vector<offset_t>> thread_step_ptr_;
   /// wait_list of vertex v: cross-thread parents in the sync DAG, stored
   /// flat: wait_adj_[wait_ptr_[v] .. wait_ptr_[v+1]).
   std::vector<offset_t> wait_ptr_;
   std::vector<index_t> wait_adj_;
+  detail::TeamPlanCache<detail::FoldedLists> folded_;
 
   mutable SolveContext default_ctx_;
 };

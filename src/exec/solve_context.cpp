@@ -14,11 +14,11 @@ SolveContext::SolveContext(int num_threads, sts::index_t num_vertices)
 
 void SolveContext::requireShape(int num_threads, sts::index_t num_vertices,
                                 const char* who) const {
-  if (num_threads_ != num_threads || n_ != num_vertices) {
+  if (num_threads_ < num_threads || n_ != num_vertices) {
     throw std::invalid_argument(
         std::string(who) + ": context shape (" +
         std::to_string(num_threads_) + " threads, " + std::to_string(n_) +
-        " rows) does not match executor (" + std::to_string(num_threads) +
+        " rows) cannot host a solve of (" + std::to_string(num_threads) +
         " threads, " + std::to_string(num_vertices) + " rows)");
   }
 }

@@ -23,8 +23,11 @@
 ///   * N contexts permit N simultaneous solves against the same executor /
 ///     TriangularSolver: `solver.solve(b, x, ctx)` is `const` and touches no
 ///     solver state outside `ctx`, `b`, and `x`.
-///   * A context is bound to the (num_threads, num_vertices) shape of the
-///     executor that created it; executors reject mismatched contexts.
+///   * A context carries a (num_threads, num_vertices) shape: num_threads
+///     is a *capacity* — any solve with a team of at most that many threads
+///     may use the context (elastic solves fold a wide schedule onto a
+///     smaller team; see Schedule::foldTo) — while num_vertices must match
+///     the executor exactly. Executors reject insufficient contexts.
 ///   * Contexts are reusable across sequential solves (state resets are
 ///     O(1) amortized: the barrier is sense-reversing, the P2P flags are
 ///     epoch-stamped) and cheap to pool — `engine::SolverEngine` keeps a
@@ -44,9 +47,9 @@ class TriangularSolver;
 
 class SolveContext {
  public:
-  /// Shape-compatible with executors built for `num_threads` cores over
-  /// `num_vertices` rows. The barrier is ready immediately; the P2P flag
-  /// array and the permutation scratch are allocated on first use.
+  /// Shape-compatible with executors built for up to `num_threads` cores
+  /// over `num_vertices` rows. The barrier is ready immediately; the P2P
+  /// flag array and the permutation scratch are allocated on first use.
   SolveContext(int num_threads, sts::index_t num_vertices);
 
   SolveContext(const SolveContext&) = delete;
@@ -65,8 +68,10 @@ class SolveContext {
   friend class TriangularSolver;
   friend class ::SolveContextTestPeer;  ///< epoch-wraparound tests only
 
-  /// Throws std::invalid_argument unless this context matches the shape of
-  /// the executor about to use it.
+  /// Throws std::invalid_argument unless this context can host a solve of
+  /// `num_threads` team members over `num_vertices` rows: the thread count
+  /// is a capacity check (team <= numThreads()), the row count an exact
+  /// match.
   void requireShape(int num_threads, sts::index_t num_vertices,
                     const char* who) const;
 

@@ -1,7 +1,9 @@
 #include "exec/solver.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "baselines/bsplist.hpp"
 #include "baselines/hdagg.hpp"
@@ -137,8 +139,24 @@ TriangularSolver TriangularSolver::analyze(const CsrMatrix& matrix,
   solver.stats_ = core::computeScheduleStats(dag, solver.schedule_,
                                              gl.sync_cost_l);
 
+  // The lossless clamp: schedules keep their analyzed width (folding
+  // re-targets them to any t <= numThreads() at solve time), but the
+  // default execution team never exceeds the machine — oversubscribed
+  // barrier waiters would otherwise yield-spin against absent cores.
+  const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+  solver.default_team_ =
+      hw > 0 ? std::min(solver.exec_threads_, hw) : solver.exec_threads_;
+
   solver.default_ctx_ = solver.createContext();
   return solver;
+}
+
+int TriangularSolver::clampTeam(int threads) const {
+  if (threads < 1) {
+    throw std::invalid_argument(
+        "TriangularSolver: per-solve team size must be >= 1");
+  }
+  return std::min(threads, exec_threads_);
 }
 
 std::unique_ptr<SolveContext> TriangularSolver::createContext() const {
@@ -146,13 +164,13 @@ std::unique_ptr<SolveContext> TriangularSolver::createContext() const {
 }
 
 void TriangularSolver::solve(std::span<const double> b, std::span<double> x,
-                             SolveContext& ctx) const {
+                             SolveContext& ctx, int threads) const {
   if (static_cast<index_t>(b.size()) != n_ ||
       static_cast<index_t>(x.size()) != n_) {
     throw std::invalid_argument("TriangularSolver::solve: size mismatch");
   }
   if (!permuted_) {
-    solvePermuted(b, x, ctx);
+    solvePermuted(b, x, ctx, threads);
     return;
   }
   const auto n = static_cast<size_t>(n_);
@@ -161,26 +179,32 @@ void TriangularSolver::solve(std::span<const double> b, std::span<double> x,
   for (size_t i = 0; i < n; ++i) {
     b_perm[i] = b[static_cast<size_t>(total_new_to_old_[i])];
   }
-  solvePermuted(b_perm, x_perm, ctx);
+  solvePermuted(b_perm, x_perm, ctx, threads);
   for (size_t i = 0; i < n; ++i) {
     x[static_cast<size_t>(total_new_to_old_[i])] = x_perm[i];
   }
 }
 
+void TriangularSolver::solve(std::span<const double> b, std::span<double> x,
+                             SolveContext& ctx) const {
+  solve(b, x, ctx, default_team_);
+}
+
 void TriangularSolver::solve(std::span<const double> b,
                              std::span<double> x) const {
-  solve(b, x, defaultContext());
+  solve(b, x, defaultContext(), default_team_);
 }
 
 void TriangularSolver::solveMultiRhs(std::span<const double> b,
                                      std::span<double> x, index_t nrhs,
-                                     SolveContext& ctx) const {
+                                     SolveContext& ctx, int threads) const {
   const auto n = static_cast<size_t>(n_);
   if (nrhs <= 0 || b.size() != n * static_cast<size_t>(nrhs) ||
       x.size() != b.size()) {
     throw std::invalid_argument(
         "TriangularSolver::solveMultiRhs: size mismatch");
   }
+  const int team = clampTeam(threads);
   const auto r = static_cast<size_t>(nrhs);
   std::span<const double> b_in = b;
   std::span<double> x_out = x;
@@ -195,11 +219,11 @@ void TriangularSolver::solveMultiRhs(std::span<const double> b,
     x_out = x_perm;
   }
   if (contiguous_) {
-    contiguous_->solveMultiRhs(b_in, x_out, nrhs, ctx);
+    contiguous_->solveMultiRhs(b_in, x_out, nrhs, ctx, team);
   } else if (p2p_) {
-    p2p_->solveMultiRhs(b_in, x_out, nrhs, ctx);
+    p2p_->solveMultiRhs(b_in, x_out, nrhs, ctx, team);
   } else {
-    bsp_->solveMultiRhs(b_in, x_out, nrhs, ctx);
+    bsp_->solveMultiRhs(b_in, x_out, nrhs, ctx, team);
   }
   if (permuted_) {
     for (size_t i = 0; i < n; ++i) {
@@ -210,31 +234,44 @@ void TriangularSolver::solveMultiRhs(std::span<const double> b,
 }
 
 void TriangularSolver::solveMultiRhs(std::span<const double> b,
+                                     std::span<double> x, index_t nrhs,
+                                     SolveContext& ctx) const {
+  solveMultiRhs(b, x, nrhs, ctx, default_team_);
+}
+
+void TriangularSolver::solveMultiRhs(std::span<const double> b,
                                      std::span<double> x,
                                      index_t nrhs) const {
-  solveMultiRhs(b, x, nrhs, defaultContext());
+  solveMultiRhs(b, x, nrhs, defaultContext(), default_team_);
 }
 
 void TriangularSolver::solvePermuted(std::span<const double> b,
-                                     std::span<double> x,
-                                     SolveContext& ctx) const {
+                                     std::span<double> x, SolveContext& ctx,
+                                     int threads) const {
   if (static_cast<index_t>(b.size()) != n_ ||
       static_cast<index_t>(x.size()) != n_) {
     throw std::invalid_argument(
         "TriangularSolver::solvePermuted: size mismatch");
   }
+  const int team = clampTeam(threads);
   if (contiguous_) {
-    contiguous_->solve(b, x, ctx);
+    contiguous_->solve(b, x, ctx, team);
   } else if (p2p_) {
-    p2p_->solve(b, x, ctx);
+    p2p_->solve(b, x, ctx, team);
   } else {
-    bsp_->solve(b, x, ctx);
+    bsp_->solve(b, x, ctx, team);
   }
 }
 
 void TriangularSolver::solvePermuted(std::span<const double> b,
+                                     std::span<double> x,
+                                     SolveContext& ctx) const {
+  solvePermuted(b, x, ctx, default_team_);
+}
+
+void TriangularSolver::solvePermuted(std::span<const double> b,
                                      std::span<double> x) const {
-  solvePermuted(b, x, defaultContext());
+  solvePermuted(b, x, defaultContext(), default_team_);
 }
 
 }  // namespace sts::exec

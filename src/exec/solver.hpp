@@ -36,6 +36,20 @@
 /// The context-free overloads run on a built-in default context and keep
 /// the historical one-solve-at-a-time restriction.
 ///
+/// ## Elasticity contract
+///
+/// The analyzed schedule is re-targetable: every context-taking solve also
+/// accepts a per-solve team size `threads`, 1 <= threads <= numThreads(),
+/// executing the schedule folded onto that many OpenMP threads
+/// (Schedule::foldTo; folded work lists are cached per team size inside
+/// the executors). Folding is lossless — results are bitwise equal to the
+/// full-width solve for every team size and scheduler kind. Overloads
+/// without an explicit team run at defaultTeam(): numThreads() clamped to
+/// the host's hardware concurrency, so analyzing for more threads than the
+/// machine has no longer yield-spins barrier waiters against absent cores.
+/// Values of `threads` above numThreads() clamp to numThreads(); values
+/// below 1 throw std::invalid_argument.
+///
 /// Upper triangular inputs are normalized internally by the reversal
 /// permutation (backward substitution is forward substitution on the
 /// reversed system).
@@ -61,6 +75,11 @@ std::string schedulerKindName(SchedulerKind kind);
 
 struct SolverOptions {
   SchedulerKind scheduler = SchedulerKind::kGrowLocal;
+  /// Width the schedule is analyzed for. May exceed the machine: execution
+  /// clamps the *default* team to hardware_concurrency() (see
+  /// TriangularSolver::defaultTeam) by folding, which is lossless, so an
+  /// oversubscribed analysis no longer yield-spins barrier waiters against
+  /// absent cores.
   int num_threads = 2;
   /// Apply the §5 locality reordering (recommended; GrowLocal's headline
   /// configuration). Ignored for kSpmp (which relies on the original
@@ -89,7 +108,11 @@ class TriangularSolver {
 
   /// x = T^{-1} b in the ORIGINAL row ordering (permutations are internal).
   /// The context overload is safe to call concurrently with any other
-  /// context-carrying solve on this instance.
+  /// context-carrying solve on this instance. `threads` selects the
+  /// per-solve team (elasticity contract above); overloads without it run
+  /// at defaultTeam().
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx, int threads) const;
   void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx) const;
   /// Built-in-context convenience: one solve per instance at a time.
@@ -100,6 +123,8 @@ class TriangularSolver {
   /// solves, amortizing every barrier/flag crossing (Table 7.7's
   /// block-parallel idea); column c of X is bitwise equal to solve() on
   /// column c of B.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx, int threads) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs, SolveContext& ctx) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
@@ -113,6 +138,8 @@ class TriangularSolver {
   /// per solve() this way. Identical to solve() when no permutation was
   /// applied.
   void solvePermuted(std::span<const double> b, std::span<double> x,
+                     SolveContext& ctx, int threads) const;
+  void solvePermuted(std::span<const double> b, std::span<double> x,
                      SolveContext& ctx) const;
   void solvePermuted(std::span<const double> b, std::span<double> x) const;
 
@@ -121,6 +148,13 @@ class TriangularSolver {
   bool isPermuted() const { return permuted_; }
 
   index_t numRows() const { return n_; }
+  /// Width the schedule was analyzed for (== schedule().numCores()); the
+  /// maximum per-solve team size.
+  int numThreads() const { return exec_threads_; }
+  /// Effective team of the overloads without an explicit team size:
+  /// numThreads() clamped to the host's hardware concurrency. Folding makes
+  /// the clamp lossless (bitwise-identical results on the same schedule).
+  int defaultTeam() const { return default_team_; }
   const SolverOptions& options() const { return options_; }
   const Schedule& schedule() const { return schedule_; }
   const core::ScheduleStats& stats() const { return stats_; }
@@ -132,6 +166,9 @@ class TriangularSolver {
   TriangularSolver() = default;
 
   SolveContext& defaultContext() const { return *default_ctx_; }
+  /// Maps a caller-requested team to a valid executor team: values above
+  /// numThreads() clamp down (lossless); values below 1 throw.
+  int clampTeam(int threads) const;
 
   index_t n_ = 0;
   SolverOptions options_;
@@ -140,6 +177,8 @@ class TriangularSolver {
   double analysis_seconds_ = 0.0;
   /// Thread count of the constructed executor (== schedule_.numCores()).
   int exec_threads_ = 1;
+  /// exec_threads_ clamped to hardware_concurrency(); see defaultTeam().
+  int default_team_ = 1;
 
   /// Normalization: x solves the original system iff the permuted solve
   /// runs on *matrix_ with b permuted by total_new_to_old_.

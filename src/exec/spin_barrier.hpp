@@ -23,10 +23,16 @@ class SpinBarrier {
   /// Blocks until all num_threads threads arrive. Establishes
   /// happens-before between all pre-wait writes and all post-wait reads
   /// (the arrival counter is a single RMW chain released into `sense_`).
-  void wait(int& local_sense) {
+  void wait(int& local_sense) { wait(local_sense, num_threads_); }
+
+  /// Same, for a team of `num_arrivals` <= the construction count. Elastic
+  /// solves pass their per-solve team size; the construction count is only
+  /// a capacity. All waiters of one phase must pass the same count, which
+  /// the one-solve-per-context contract guarantees.
+  void wait(int& local_sense, int num_arrivals) {
     const int next = 1 - local_sense;
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) ==
-        num_threads_ - 1) {
+        num_arrivals - 1) {
       arrived_.store(0, std::memory_order_relaxed);
       sense_.store(next, std::memory_order_release);
     } else {

@@ -80,6 +80,9 @@ SolveMeasurement measureSolver(const std::string& matrix_name,
 }
 
 double geomeanSpeedup(const std::vector<SolveMeasurement>& ms) {
+  // Explicit 0.0 for "no measurements" keeps bench summary rows printable
+  // (geometricMean itself throws on empty input).
+  if (ms.empty()) return 0.0;
   std::vector<double> values;
   values.reserve(ms.size());
   for (const auto& m : ms) values.push_back(m.speedup);
@@ -87,6 +90,7 @@ double geomeanSpeedup(const std::vector<SolveMeasurement>& ms) {
 }
 
 double geomeanWavefrontReduction(const std::vector<SolveMeasurement>& ms) {
+  if (ms.empty()) return 0.0;
   std::vector<double> values;
   values.reserve(ms.size());
   for (const auto& m : ms) values.push_back(m.wavefront_reduction);

@@ -40,13 +40,17 @@ ServingMeasurement measureServing(const std::string& matrix_name,
   }
 
   // Baseline: the pre-engine serving loop — one request at a time through
-  // one context, paying the full barrier bill per right-hand side.
+  // one context, paying the full barrier bill per right-hand side. Both
+  // sides pin the full analyzed width (not the clamped default team) so
+  // the measurement isolates batch amortization from elasticity, which
+  // bench_elastic_serving measures separately.
+  const int width = solver->numThreads();
   {
     auto ctx = solver->createContext();
     std::vector<double> x(n, 0.0);
     m.sequential_seconds = medianSeconds(
         [&] {
-          for (const auto& b : rhs) solver->solve(b, x, *ctx);
+          for (const auto& b : rhs) solver->solve(b, x, *ctx, width);
         },
         opts.warmup, opts.reps);
   }
@@ -58,6 +62,7 @@ ServingMeasurement measureServing(const std::string& matrix_name,
   engine_opts.max_batch = max_batch;
   engine_opts.coalesce = true;
   engine_opts.start_paused = true;
+  engine_opts.team_size = width;
   engine::SolverEngine engine(engine_opts);
   const auto id = engine.registerSolver(solver);
 
@@ -93,6 +98,9 @@ ServingMeasurement measureServing(const std::string& matrix_name,
 }
 
 double geomeanServingSpeedup(const std::vector<ServingMeasurement>& ms) {
+  // Explicit 0.0 for "no measurements" keeps bench summaries printable
+  // (geometricMean itself throws on empty input).
+  if (ms.empty()) return 0.0;
   std::vector<double> speedups;
   speedups.reserve(ms.size());
   for (const auto& m : ms) speedups.push_back(m.speedup);

@@ -9,7 +9,9 @@
 namespace sts::harness {
 
 double geometricMean(std::span<const double> values) {
-  if (values.empty()) return 0.0;
+  if (values.empty()) {
+    throw std::invalid_argument("geometricMean: empty input");
+  }
   double log_sum = 0.0;
   for (const double v : values) {
     if (v <= 0.0) {

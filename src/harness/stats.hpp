@@ -11,7 +11,9 @@
 
 namespace sts::harness {
 
-/// exp(mean(log x)); requires all values > 0. Returns 0 for empty input.
+/// exp(mean(log x)); requires all values > 0 and a non-empty input (throws
+/// std::invalid_argument otherwise, like quantile — a silent 0.0 for an
+/// empty set poisoned downstream speedup aggregates).
 double geometricMean(std::span<const double> values);
 
 /// Linear-interpolation quantile, q in [0, 1]. Input need not be sorted.

@@ -15,7 +15,9 @@ namespace {
 TEST(Stats, GeometricMean) {
   EXPECT_DOUBLE_EQ(geometricMean(std::vector<double>{4.0, 1.0}), 2.0);
   EXPECT_DOUBLE_EQ(geometricMean(std::vector<double>{8.0}), 8.0);
-  EXPECT_DOUBLE_EQ(geometricMean(std::vector<double>{}), 0.0);
+  // Empty input throws like quantile — a silent 0.0 used to poison
+  // downstream speedup aggregates.
+  EXPECT_THROW(geometricMean(std::vector<double>{}), std::invalid_argument);
   EXPECT_NEAR(geometricMean(std::vector<double>{1.0, 10.0, 100.0}), 10.0,
               1e-12);
   EXPECT_THROW(geometricMean(std::vector<double>{1.0, 0.0}),
