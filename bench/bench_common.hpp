@@ -1,7 +1,10 @@
 #pragma once
 
+#include <omp.h>
+
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "harness/datasets.hpp"
 
@@ -9,6 +12,15 @@
 /// Shared banner/format helpers for the per-table bench binaries.
 
 namespace sts::bench {
+
+/// Host metadata fields for the machine-readable bench outputs (no braces,
+/// ready to splice into a JSON object): core count and OpenMP width make
+/// cross-run and cross-host comparisons meaningful.
+inline std::string hostMetaJson() {
+  return "\"hardware_cores\":" +
+         std::to_string(std::thread::hardware_concurrency()) +
+         ",\"omp_max_threads\":" + std::to_string(omp_get_max_threads());
+}
 
 inline void banner(const std::string& experiment, const std::string& paper_ref,
                    const std::string& what) {

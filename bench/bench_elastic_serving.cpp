@@ -196,10 +196,10 @@ int main() {
   }
 
   // Machine-readable output: team size vs. aggregate throughput.
-  std::printf("JSON: {\"bench\":\"elastic_serving\",\"hardware_cores\":%u,"
+  std::printf("JSON: {\"bench\":\"elastic_serving\",%s,"
               "\"schedule_width\":%d,\"workers\":%d,\"max_batch\":%d,"
               "\"results\":[",
-              std::thread::hardware_concurrency(), width, workers,
+              bench::hostMetaJson().c_str(), width, workers,
               static_cast<int>(max_batch));
   for (size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];

@@ -1,6 +1,7 @@
 #include "core/schedule.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -9,31 +10,177 @@
 
 namespace sts::core {
 
+std::string foldPolicyName(FoldPolicy policy) {
+  switch (policy) {
+    case FoldPolicy::kModulo: return "modulo";
+    case FoldPolicy::kBinPack: return "binpack";
+  }
+  return "?";
+}
+
+namespace {
+
+void requireFoldShape(index_t num_supersteps, int width, int target,
+                      const char* who) {
+  if (width <= 0 || num_supersteps < 0) {
+    throw std::invalid_argument(std::string(who) + ": malformed shape");
+  }
+  if (target <= 0 || target > width) {
+    throw std::invalid_argument(std::string(who) + ": target " +
+                                std::to_string(target) + " outside [1, " +
+                                std::to_string(width) + "]");
+  }
+}
+
+/// LPT vector packing: ranks in descending total-load order, each placed on
+/// the slot whose per-superstep loads grow the folded makespan least.
+std::vector<int> binPackRankMap(index_t num_supersteps, int width, int target,
+                                std::span<const weight_t> rank_loads) {
+  const auto steps = static_cast<size_t>(num_supersteps);
+  std::vector<weight_t> totals(static_cast<size_t>(width), 0);
+  for (size_t s = 0; s < steps; ++s) {
+    for (int p = 0; p < width; ++p) {
+      totals[static_cast<size_t>(p)] +=
+          rank_loads[s * static_cast<size_t>(width) + static_cast<size_t>(p)];
+    }
+  }
+  std::vector<int> ranks(static_cast<size_t>(width));
+  std::iota(ranks.begin(), ranks.end(), 0);
+  std::sort(ranks.begin(), ranks.end(), [&totals](int a, int b) {
+    const weight_t ta = totals[static_cast<size_t>(a)];
+    const weight_t tb = totals[static_cast<size_t>(b)];
+    return ta != tb ? ta > tb : a < b;
+  });
+
+  // slot_load[q * steps + s]: per-superstep load of target slot q so far;
+  // step_max[s]: the current per-superstep maximum across slots.
+  std::vector<weight_t> slot_load(static_cast<size_t>(target) * steps, 0);
+  std::vector<weight_t> slot_total(static_cast<size_t>(target), 0);
+  std::vector<weight_t> step_max(steps, 0);
+  std::vector<int> map(static_cast<size_t>(width), 0);
+  for (const int p : ranks) {
+    const weight_t* r =
+        rank_loads.data() + static_cast<size_t>(p);  // stride `width`
+    int best_q = 0;
+    weight_t best_delta = std::numeric_limits<weight_t>::max();
+    for (int q = 0; q < target; ++q) {
+      const weight_t* load = slot_load.data() + static_cast<size_t>(q) * steps;
+      weight_t delta = 0;
+      for (size_t s = 0; s < steps; ++s) {
+        const weight_t grown = load[s] + r[s * static_cast<size_t>(width)];
+        if (grown > step_max[s]) delta += grown - step_max[s];
+      }
+      if (delta < best_delta ||
+          (delta == best_delta && slot_total[static_cast<size_t>(q)] <
+                                      slot_total[static_cast<size_t>(best_q)])) {
+        best_delta = delta;
+        best_q = q;
+      }
+    }
+    map[static_cast<size_t>(p)] = best_q;
+    weight_t* load = slot_load.data() + static_cast<size_t>(best_q) * steps;
+    for (size_t s = 0; s < steps; ++s) {
+      load[s] += r[s * static_cast<size_t>(width)];
+      step_max[s] = std::max(step_max[s], load[s]);
+    }
+    slot_total[static_cast<size_t>(best_q)] += totals[static_cast<size_t>(p)];
+  }
+  return map;
+}
+
+}  // namespace
+
+std::vector<int> foldRankMap(index_t num_supersteps, int width, int target,
+                             FoldPolicy policy,
+                             std::span<const weight_t> rank_loads) {
+  requireFoldShape(num_supersteps, width, target, "foldRankMap");
+  std::vector<int> modulo(static_cast<size_t>(width));
+  for (int p = 0; p < width; ++p) modulo[static_cast<size_t>(p)] = p % target;
+  if (policy == FoldPolicy::kModulo || target == width) return modulo;
+
+  if (rank_loads.size() != static_cast<size_t>(num_supersteps) *
+                               static_cast<size_t>(width)) {
+    throw std::invalid_argument(
+        "foldRankMap: kBinPack needs a num_supersteps * width load table");
+  }
+  std::vector<int> packed =
+      binPackRankMap(num_supersteps, width, target, rank_loads);
+  // The greedy packing is near-optimal in practice but carries no guarantee;
+  // keeping the better of {greedy, modulo} makes kBinPack never worse than
+  // kModulo by construction (the property the tests pin).
+  const weight_t packed_makespan =
+      foldedMakespan(rank_loads, num_supersteps, width, target, packed);
+  const weight_t modulo_makespan =
+      foldedMakespan(rank_loads, num_supersteps, width, target, modulo);
+  return packed_makespan <= modulo_makespan ? packed : modulo;
+}
+
+weight_t foldedMakespan(std::span<const weight_t> rank_loads,
+                        index_t num_supersteps, int width, int target,
+                        std::span<const int> rank_map) {
+  requireFoldShape(num_supersteps, width, target, "foldedMakespan");
+  if (rank_loads.size() != static_cast<size_t>(num_supersteps) *
+                               static_cast<size_t>(width) ||
+      rank_map.size() != static_cast<size_t>(width)) {
+    throw std::invalid_argument("foldedMakespan: size mismatch");
+  }
+  std::vector<weight_t> slot(static_cast<size_t>(target), 0);
+  weight_t makespan = 0;
+  for (index_t s = 0; s < num_supersteps; ++s) {
+    std::fill(slot.begin(), slot.end(), 0);
+    for (int p = 0; p < width; ++p) {
+      slot[static_cast<size_t>(rank_map[static_cast<size_t>(p)])] +=
+          rank_loads[static_cast<size_t>(s) * static_cast<size_t>(width) +
+                     static_cast<size_t>(p)];
+    }
+    makespan += *std::max_element(slot.begin(), slot.end());
+  }
+  return makespan;
+}
+
+double foldedImbalance(std::span<const weight_t> rank_loads,
+                       index_t num_supersteps, int width, int target,
+                       std::span<const int> rank_map) {
+  const weight_t makespan =
+      foldedMakespan(rank_loads, num_supersteps, width, target, rank_map);
+  weight_t total = 0;
+  for (const weight_t load : rank_loads) total += load;
+  const weight_t ideal = (total + target - 1) / target;
+  return ideal > 0 ? static_cast<double>(makespan) /
+                         static_cast<double>(ideal)
+                   : 1.0;
+}
+
+std::shared_ptr<const Schedule::Payload> Schedule::emptyPayload() {
+  static const std::shared_ptr<const Payload> empty =
+      std::make_shared<const Payload>();
+  return empty;
+}
+
+Schedule::Schedule() : payload_(emptyPayload()) {}
+
 Schedule::Schedule(index_t n, int num_cores, index_t num_supersteps,
                    std::vector<int> core, std::vector<index_t> superstep,
                    std::vector<index_t> order,
                    std::vector<offset_t> group_ptr)
-    : n_(n),
-      num_cores_(num_cores),
-      num_supersteps_(num_supersteps),
-      core_(std::move(core)),
-      superstep_(std::move(superstep)),
-      order_(std::move(order)),
-      group_ptr_(std::move(group_ptr)) {
+    : n_(n), num_cores_(num_cores), num_supersteps_(num_supersteps) {
   if (num_cores_ <= 0) {
     throw std::invalid_argument("Schedule: num_cores must be positive");
   }
-  if (core_.size() != static_cast<size_t>(n_) ||
-      superstep_.size() != static_cast<size_t>(n_) ||
-      order_.size() != static_cast<size_t>(n_)) {
+  if (core.size() != static_cast<size_t>(n_) ||
+      superstep.size() != static_cast<size_t>(n_) ||
+      order.size() != static_cast<size_t>(n_)) {
     throw std::invalid_argument("Schedule: assignment array size mismatch");
   }
   const size_t groups =
       static_cast<size_t>(num_supersteps_) * static_cast<size_t>(num_cores_);
-  if (group_ptr_.size() != groups + 1 || group_ptr_.front() != 0 ||
-      group_ptr_.back() != static_cast<offset_t>(n_)) {
+  if (group_ptr.size() != groups + 1 || group_ptr.front() != 0 ||
+      group_ptr.back() != static_cast<offset_t>(n_)) {
     throw std::invalid_argument("Schedule: group_ptr malformed");
   }
+  payload_ = std::make_shared<const Payload>(
+      Payload{std::move(core), std::move(superstep), std::move(order),
+              std::move(group_ptr)});
 }
 
 Schedule Schedule::fromAssignment(const Dag& dag, int num_cores,
@@ -116,12 +263,18 @@ Schedule Schedule::serial(const Dag& dag) {
 std::span<const index_t> Schedule::group(index_t s, int p) const {
   const size_t g = static_cast<size_t>(s) * static_cast<size_t>(num_cores_) +
                    static_cast<size_t>(p);
-  return std::span<const index_t>(order_).subspan(
-      static_cast<size_t>(group_ptr_[g]),
-      static_cast<size_t>(group_ptr_[g + 1] - group_ptr_[g]));
+  const auto& group_ptr = payload_->group_ptr;
+  return std::span<const index_t>(payload_->order)
+      .subspan(static_cast<size_t>(group_ptr[g]),
+               static_cast<size_t>(group_ptr[g + 1] - group_ptr[g]));
 }
 
 Schedule Schedule::foldTo(int num_cores) const {
+  return foldTo(num_cores, FoldPolicy::kModulo);
+}
+
+Schedule Schedule::foldTo(int num_cores, FoldPolicy policy,
+                          std::span<const weight_t> vertex_weights) const {
   if (num_cores <= 0) {
     throw std::invalid_argument("Schedule::foldTo: num_cores must be positive");
   }
@@ -130,11 +283,39 @@ Schedule Schedule::foldTo(int num_cores) const {
         "Schedule::foldTo: cannot widen a schedule (requested " +
         std::to_string(num_cores) + " > " + std::to_string(num_cores_) + ")");
   }
+  // Shared payload makes the fold-to-self an O(1) shallow copy (identical
+  // for every policy: folding onto the full width merges nothing).
   if (num_cores == num_cores_) return *this;
 
+  std::vector<weight_t> loads;
+  if (policy != FoldPolicy::kModulo) loads = rankLoads(vertex_weights);
+  const std::vector<int> map =
+      foldRankMap(num_supersteps_, num_cores_, num_cores, policy, loads);
+  return foldWith(map, num_cores);
+}
+
+Schedule Schedule::foldWith(std::span<const int> rank_map,
+                            int num_cores) const {
+  if (num_cores <= 0 || num_cores > num_cores_ ||
+      rank_map.size() != static_cast<size_t>(num_cores_)) {
+    throw std::invalid_argument("Schedule::foldWith: malformed rank map");
+  }
+  for (const int q : rank_map) {
+    if (q < 0 || q >= num_cores) {
+      throw std::invalid_argument("Schedule::foldWith: slot out of range");
+    }
+  }
   std::vector<int> core(static_cast<size_t>(n_));
   for (index_t v = 0; v < n_; ++v) {
-    core[static_cast<size_t>(v)] = core_[static_cast<size_t>(v)] % num_cores;
+    core[static_cast<size_t>(v)] = rank_map[static_cast<size_t>(
+        payload_->core[static_cast<size_t>(v)])];
+  }
+  // Invert the map once (ascending p within each slot) so the fold walks
+  // each superstep's groups O(numCores()) instead of O(t * numCores()).
+  std::vector<std::vector<int>> slot_ranks(static_cast<size_t>(num_cores));
+  for (int p = 0; p < num_cores_; ++p) {
+    slot_ranks[static_cast<size_t>(rank_map[static_cast<size_t>(p)])]
+        .push_back(p);
   }
   std::vector<index_t> order;
   order.reserve(static_cast<size_t>(n_));
@@ -143,7 +324,7 @@ Schedule Schedule::foldTo(int num_cores) const {
                         static_cast<size_t>(num_cores) + 1);
   for (index_t s = 0; s < num_supersteps_; ++s) {
     for (int q = 0; q < num_cores; ++q) {
-      for (int p = q; p < num_cores_; p += num_cores) {
+      for (const int p : slot_ranks[static_cast<size_t>(q)]) {
         const auto g = group(s, p);
         order.insert(order.end(), g.begin(), g.end());
       }
@@ -151,7 +332,29 @@ Schedule Schedule::foldTo(int num_cores) const {
     }
   }
   return Schedule(n_, num_cores, num_supersteps_, std::move(core),
-                  superstep_, std::move(order), std::move(group_ptr));
+                  std::vector<index_t>(payload_->superstep), std::move(order),
+                  std::move(group_ptr));
+}
+
+std::vector<weight_t> Schedule::rankLoads(
+    std::span<const weight_t> vertex_weights) const {
+  if (!vertex_weights.empty() &&
+      vertex_weights.size() != static_cast<size_t>(n_)) {
+    throw std::invalid_argument("Schedule::rankLoads: weight size mismatch");
+  }
+  std::vector<weight_t> loads(static_cast<size_t>(num_supersteps_) *
+                                  static_cast<size_t>(num_cores_),
+                              0);
+  for (index_t v = 0; v < n_; ++v) {
+    const size_t g =
+        static_cast<size_t>(payload_->superstep[static_cast<size_t>(v)]) *
+            static_cast<size_t>(num_cores_) +
+        static_cast<size_t>(payload_->core[static_cast<size_t>(v)]);
+    loads[g] += vertex_weights.empty()
+                    ? 1
+                    : vertex_weights[static_cast<size_t>(v)];
+  }
+  return loads;
 }
 
 ScheduleValidation validateSchedule(const Dag& dag, const Schedule& schedule) {

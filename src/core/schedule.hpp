@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -12,6 +13,10 @@
 /// (superstep, core) group. The order matters: vertices scheduled on the
 /// same core in the same superstep may depend on each other and must be
 /// executed in a dependency-respecting sequence.
+///
+/// Schedules are immutable after construction and share their assignment
+/// arrays through a const payload, so copying a Schedule — including
+/// foldTo(numCores()), which returns *this — is O(1) and allocation-free.
 
 namespace sts::core {
 
@@ -20,9 +25,55 @@ using dag::weight_t;
 using sts::index_t;
 using sts::offset_t;
 
+/// How ranks map onto a smaller execution width when a schedule is folded
+/// (Schedule::foldTo and the executor-side plan folds in exec/elastic.hpp).
+/// Either policy merges *whole* ranks, which keeps the fold always-valid:
+/// same-superstep edges are intra-core by Definition 2.1 and therefore stay
+/// intra-core under any rank-granularity map.
+enum class FoldPolicy {
+  /// p -> p mod t. Oblivious to load; can compound per-rank imbalance when
+  /// heavy ranks collide on one slot.
+  kModulo = 0,
+  /// LPT bin packing of whole ranks onto the t target slots by their
+  /// per-superstep work (heaviest total first, each placed on the slot that
+  /// grows the folded makespan least). Never worse than kModulo: the packer
+  /// keeps whichever of {greedy, modulo} has the smaller folded makespan.
+  kBinPack = 1,
+};
+
+/// Number of FoldPolicy values (sizes the executor plan caches).
+inline constexpr int kNumFoldPolicies = 2;
+
+std::string foldPolicyName(FoldPolicy policy);
+
+/// Builds the rank -> slot map folding `width` ranks onto `target` slots.
+/// `rank_loads` is the superstep-major per-(superstep, rank) work table
+/// (size num_supersteps * width, e.g. Schedule::rankLoads); kModulo ignores
+/// it, kBinPack requires it. Throws std::invalid_argument on bad sizes.
+std::vector<int> foldRankMap(index_t num_supersteps, int width, int target,
+                             FoldPolicy policy,
+                             std::span<const weight_t> rank_loads = {});
+
+/// Folded compute makespan of a candidate rank map: sum over supersteps of
+/// the maximum per-slot load — the BSP compute term the fold policies
+/// compete on. `rank_map` has `width` entries in [0, target).
+weight_t foldedMakespan(std::span<const weight_t> rank_loads,
+                        index_t num_supersteps, int width, int target,
+                        std::span<const int> rank_map);
+
+/// Whole-fold load imbalance: foldedMakespan over the perfectly balanced
+/// ideal ceil(total_work / target) (1.0 = every superstep perfectly
+/// balanced across the target slots — the same makespan/ideal ratio as
+/// ScheduleStats::imbalance, evaluated at the folded width). The
+/// harness-table imbalance metric for fold comparisons; compare values
+/// only between folds of the same schedule.
+double foldedImbalance(std::span<const weight_t> rank_loads,
+                       index_t num_supersteps, int width, int target,
+                       std::span<const int> rank_map);
+
 class Schedule {
  public:
-  Schedule() = default;
+  Schedule();
 
   /// Builds from π/σ plus an explicit in-group execution order: `order`
   /// lists all vertices grouped by superstep-major, core-minor; group g =
@@ -50,40 +101,65 @@ class Schedule {
     return num_supersteps_ > 0 ? num_supersteps_ - 1 : 0;
   }
 
-  int coreOf(index_t v) const { return core_[static_cast<size_t>(v)]; }
+  int coreOf(index_t v) const { return payload_->core[static_cast<size_t>(v)]; }
   index_t superstepOf(index_t v) const {
-    return superstep_[static_cast<size_t>(v)];
+    return payload_->superstep[static_cast<size_t>(v)];
   }
-  std::span<const int> cores() const { return core_; }
-  std::span<const index_t> supersteps() const { return superstep_; }
+  std::span<const int> cores() const { return payload_->core; }
+  std::span<const index_t> supersteps() const { return payload_->superstep; }
 
   /// Vertices of (superstep s, core p) in execution order.
   std::span<const index_t> group(index_t s, int p) const;
 
   /// Re-targets the schedule to `num_cores` <= numCores() processors by
-  /// folding ranks p -> p mod num_cores. Superstep structure is preserved
-  /// exactly; the folded group (s, q) concatenates the old groups (s, p)
-  /// for p ≡ q (mod num_cores) in ascending p, each keeping its internal
-  /// order. Validity is preserved: within a superstep every edge is
-  /// intra-core (Def. 2.1 forbids same-superstep cross-core edges), so
-  /// merging cores cannot break the in-group execution order, and
-  /// cross-superstep edges only ever become intra-core, which is strictly
-  /// weaker to satisfy. Folding to numCores() returns a copy; widening
-  /// throws std::invalid_argument.
+  /// folding whole ranks onto the smaller width under `policy` (the default
+  /// keeps PR 2's p -> p mod num_cores map). Superstep structure is
+  /// preserved exactly; the folded group (s, q) concatenates the old groups
+  /// (s, p) for every rank p mapped to q, in ascending p, each keeping its
+  /// internal order. Validity is preserved for any rank-granularity map:
+  /// within a superstep every edge is intra-core (Def. 2.1 forbids
+  /// same-superstep cross-core edges), so merging cores cannot break the
+  /// in-group execution order, and cross-superstep edges only ever become
+  /// intra-core, which is strictly weaker to satisfy. `vertex_weights`
+  /// (empty = unit weights) feeds FoldPolicy::kBinPack, which packs ranks
+  /// by per-superstep load instead of blindly by index. Folding to
+  /// numCores() shares this schedule's payload (an O(1) copy, identical
+  /// under every policy); widening throws std::invalid_argument.
   Schedule foldTo(int num_cores) const;
+  Schedule foldTo(int num_cores, FoldPolicy policy,
+                  std::span<const weight_t> vertex_weights = {}) const;
+
+  /// The fold workhorse: merges ranks by an explicit `rank_map` (numCores()
+  /// entries in [0, num_cores)). Policies above are map constructions plus
+  /// this.
+  Schedule foldWith(std::span<const int> rank_map, int num_cores) const;
+
+  /// Per-(superstep, rank) work table, superstep-major (size
+  /// numSupersteps() * numCores()): entry [s * numCores() + p] sums the
+  /// weights of group(s, p). Empty `vertex_weights` means unit weights
+  /// (group sizes). Feeds foldRankMap / the harness fold-quality tables.
+  std::vector<weight_t> rankLoads(
+      std::span<const weight_t> vertex_weights = {}) const;
 
   /// The flat execution order (superstep-major, core-minor).
-  std::span<const index_t> executionOrder() const { return order_; }
-  std::span<const offset_t> groupPtr() const { return group_ptr_; }
+  std::span<const index_t> executionOrder() const { return payload_->order; }
+  std::span<const offset_t> groupPtr() const { return payload_->group_ptr; }
 
  private:
+  /// The assignment arrays, shared immutable between copies (Schedule
+  /// copies — solver facades, fold-to-self — are shallow).
+  struct Payload {
+    std::vector<int> core;
+    std::vector<index_t> superstep;
+    std::vector<index_t> order;
+    std::vector<offset_t> group_ptr = {0};
+  };
+  static std::shared_ptr<const Payload> emptyPayload();
+
   index_t n_ = 0;
   int num_cores_ = 0;
   index_t num_supersteps_ = 0;
-  std::vector<int> core_;
-  std::vector<index_t> superstep_;
-  std::vector<index_t> order_;
-  std::vector<offset_t> group_ptr_ = {0};
+  std::shared_ptr<const Payload> payload_;
 };
 
 /// Outcome of validateSchedule; `ok` iff the schedule satisfies Def. 2.1,

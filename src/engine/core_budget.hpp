@@ -1,0 +1,107 @@
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+
+/// \file core_budget.hpp
+/// The machine-wide core arbiter of the serving subsystem. Each engine
+/// worker sizes its batch team independently, so without coordination N
+/// concurrent batches can oversubscribe the machine by up to
+/// N * num_threads threads in aggregate. A CoreBudget is a shared lease
+/// counter workers draw their OpenMP teams from: a batch acquires up to
+/// its desired team size (blocking until at least a minimum is free),
+/// executes on exactly the granted width — folding makes any width
+/// bitwise-lossless — and releases on completion. The invariant is that
+/// the sum of outstanding grants never exceeds the budget, which bounds
+/// the engine's aggregate OpenMP thread footprint regardless of worker
+/// count or request mix.
+
+namespace sts::engine {
+
+class CoreBudget {
+ public:
+  /// `total` <= 0 means unlimited: acquire() grants every desired width
+  /// immediately and tracks nothing.
+  explicit CoreBudget(int total) : total_(total) {}
+
+  CoreBudget(const CoreBudget&) = delete;
+  CoreBudget& operator=(const CoreBudget&) = delete;
+
+  /// Leases up to `desired` cores, blocking until at least
+  /// min(min_needed, desired, total) are free, then granting as many free
+  /// cores as possible (never more than `desired`). Returns the grant,
+  /// which the caller must release() exactly once. Throws
+  /// std::invalid_argument unless 1 <= min_needed and 1 <= desired.
+  int acquire(int desired, int min_needed = 1) {
+    if (desired < 1 || min_needed < 1) {
+      throw std::invalid_argument("CoreBudget::acquire: bad widths");
+    }
+    if (total_ <= 0) return desired;
+    const int need = std::min({min_needed, desired, total_});
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return total_ - in_use_ >= need; });
+    const int granted = std::min(desired, total_ - in_use_);
+    in_use_ += granted;
+    peak_ = std::max(peak_, in_use_);
+    if (granted < desired) ++throttled_;
+    return granted;
+  }
+
+  /// Returns `granted` cores to the pool and wakes waiters.
+  void release(int granted) {
+    if (total_ <= 0 || granted <= 0) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_use_ -= granted;
+    }
+    cv_.notify_all();
+  }
+
+  /// RAII lease for exception-safe batch execution.
+  class Lease {
+   public:
+    Lease(CoreBudget& budget, int desired, int min_needed)
+        : budget_(&budget), granted_(budget.acquire(desired, min_needed)) {}
+    ~Lease() { budget_->release(granted_); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    int granted() const { return granted_; }
+
+   private:
+    CoreBudget* budget_;
+    int granted_ = 0;
+  };
+
+  bool limited() const { return total_ > 0; }
+  int total() const { return total_; }
+
+  int inUse() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return in_use_;
+  }
+  /// High-water mark of concurrently leased cores; never exceeds total()
+  /// when limited — the invariant the TSan-covered budget tests pin.
+  int peakInUse() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+  /// Acquires granted less than they desired (the contention signal).
+  std::uint64_t throttledAcquires() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return throttled_;
+  }
+
+ private:
+  const int total_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int in_use_ = 0;
+  int peak_ = 0;
+  std::uint64_t throttled_ = 0;
+};
+
+}  // namespace sts::engine

@@ -15,6 +15,13 @@ bool RequestQueue::push(SolveRequest&& request) {
 std::vector<SolveRequest> RequestQueue::popBatch(sts::index_t max_rhs,
                                                  bool coalesce,
                                                  std::size_t* backlog) {
+  return popBatch([max_rhs](std::size_t) { return max_rhs; }, coalesce,
+                  backlog);
+}
+
+std::vector<SolveRequest> RequestQueue::popBatch(
+    const std::function<sts::index_t(std::size_t)>& max_rhs_for_depth,
+    bool coalesce, std::size_t* backlog) {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] {
     // A closed queue ignores pause so shutdown always drains.
@@ -24,6 +31,7 @@ std::vector<SolveRequest> RequestQueue::popBatch(sts::index_t max_rhs,
     if (backlog) *backlog = 0;
     return {};  // closed and drained
   }
+  const sts::index_t max_rhs = max_rhs_for_depth(queue_.size());
 
   std::vector<SolveRequest> batch;
   batch.push_back(std::move(queue_.front()));

@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -38,6 +39,14 @@ class RequestQueue {
   /// captured under the same lock as the pop itself.
   std::vector<SolveRequest> popBatch(sts::index_t max_rhs, bool coalesce,
                                      std::size_t* backlog = nullptr);
+
+  /// As above, but the column budget is chosen by `max_rhs_for_depth`,
+  /// called under the queue lock with the pre-pop depth — so a
+  /// depth-adaptive cap (EngineOptions::adaptive_batch) sees the actual
+  /// backlog the batch will be cut from, not a stale pre-block snapshot.
+  std::vector<SolveRequest> popBatch(
+      const std::function<sts::index_t(std::size_t)>& max_rhs_for_depth,
+      bool coalesce, std::size_t* backlog = nullptr);
 
   /// Stop dispatch: popBatch blocks even when requests are queued.
   void pause();

@@ -13,9 +13,14 @@ namespace {
 /// recent this-many completions, so a long-lived server's p50/p95 track
 /// current behavior instead of freezing at warm-up values.
 constexpr std::size_t kMaxLatencySamples = 1 << 16;
+/// Sliding window of the SLO controller: its grow/shrink decisions react
+/// to the p95 of this many most-recent completions, so a step in offered
+/// load shows up within one window instead of being averaged away.
+constexpr std::size_t kSloWindow = 64;
 }  // namespace
 
-SolverEngine::SolverEngine(EngineOptions options) : options_(options) {
+SolverEngine::SolverEngine(EngineOptions options)
+    : options_(options), budget_(options.core_budget) {
   if (options_.num_workers <= 0) {
     throw std::invalid_argument("SolverEngine: num_workers must be > 0");
   }
@@ -27,6 +32,12 @@ SolverEngine::SolverEngine(EngineOptions options) : options_(options) {
   }
   if (options_.elastic_min_team < 1) {
     throw std::invalid_argument("SolverEngine: elastic_min_team must be >= 1");
+  }
+  if (options_.target_p95 < 0.0) {
+    throw std::invalid_argument("SolverEngine: target_p95 must be >= 0");
+  }
+  if (options_.core_budget < 0) {
+    throw std::invalid_argument("SolverEngine: core_budget must be >= 0");
   }
   if (options_.start_paused) queue_.pause();
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
@@ -126,31 +137,94 @@ void SolverEngine::shutdown() {
 void SolverEngine::workerLoop() {
   for (;;) {
     std::size_t backlog = 0;
-    auto batch =
-        queue_.popBatch(options_.max_batch, options_.coalesce, &backlog);
+    // The pre-pop depth (read under the queue lock) drives the adaptive
+    // coalescing cap: a deep queue justifies a bigger batch exactly when
+    // this worker commits to one.
+    auto batch = queue_.popBatch(
+        [this](std::size_t depth) { return effectiveBatchCap(depth); },
+        options_.coalesce, &backlog);
     if (batch.empty()) return;  // closed and drained
     executeBatch(batch, backlog);
     noteRetired(static_cast<std::int64_t>(batch.size()));
   }
 }
 
-int SolverEngine::chooseTeam(const exec::TriangularSolver& solver,
+int SolverEngine::baseTeam(const exec::TriangularSolver& solver) const {
+  return options_.team_size > 0
+             ? std::min(options_.team_size, solver.numThreads())
+             : solver.defaultTeam();
+}
+
+std::size_t SolverEngine::deepThreshold() const {
+  return options_.elastic_deep_queue > 0 ? options_.elastic_deep_queue
+                                         : workers_.size();
+}
+
+sts::index_t SolverEngine::effectiveBatchCap(std::size_t depth) const {
+  if (!options_.elastic || !options_.adaptive_batch) {
+    return options_.max_batch;
+  }
+  const std::size_t deep = deepThreshold();
+  if (depth >= 2 * deep) return 2 * options_.max_batch;
+  if (depth >= deep) return options_.max_batch + (options_.max_batch + 1) / 2;
+  return options_.max_batch;
+}
+
+int SolverEngine::chooseTeam(const Registered& reg,
                              std::size_t backlog) const {
-  const int width = solver.numThreads();
-  const int base = options_.team_size > 0
-                       ? std::min(options_.team_size, width)
-                       : solver.defaultTeam();
+  const int base = baseTeam(*reg.solver);
   if (!options_.elastic) return base;
-  const std::size_t deep = options_.elastic_deep_queue > 0
-                               ? options_.elastic_deep_queue
-                               : workers_.size();
-  if (backlog < deep) return base;
+  // min_team is raised first, then capped by base: a min_team above the
+  // base width cannot widen the team past it.
+  const int min_team = std::min(options_.elastic_min_team, base);
+
+  if (options_.target_p95 > 0.0) {
+    // SLO mode: the per-solver controller owns the choice; 0 = not yet
+    // initialized, meaning the base width.
+    const int current = reg.elastic_team.load(std::memory_order_relaxed);
+    return current > 0 ? std::clamp(current, min_team, base) : base;
+  }
+
+  // Depth-only mode (PR 2): deep backlog divides the base across workers.
+  if (backlog < deepThreshold()) return base;
   const int workers = static_cast<int>(workers_.size());
   const int shrunk = (base + workers - 1) / workers;
-  // min_team is raised first, then capped by base: a min_team above the
-  // base width cannot widen the team past it (and clamp's lo <= hi
-  // precondition never comes into play).
-  return std::min(std::max(shrunk, options_.elastic_min_team), base);
+  return std::min(std::max(shrunk, min_team), base);
+}
+
+void SolverEngine::updateController(Registered& reg, int base,
+                                    std::size_t backlog) {
+  const int min_team = std::min(options_.elastic_min_team, base);
+  int current = reg.elastic_team.load(std::memory_order_relaxed);
+  if (current <= 0) current = base;
+
+  // p95 over the last kSloWindow completions (the ring may hold far more;
+  // a long-lived server must react to the current regime, not its past).
+  const std::size_t have = reg.latency_samples.size();
+  const std::size_t take = std::min(have, kSloWindow);
+  if (take == 0) return;
+  std::vector<double> window(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    // latency_next is one past the newest sample; while the ring is still
+    // filling the newest sits at have - 1.
+    const std::size_t pos =
+        have < kMaxLatencySamples
+            ? have - take + i
+            : (reg.latency_next + kMaxLatencySamples - take + i) %
+                  kMaxLatencySamples;
+    window[i] = reg.latency_samples[pos];
+  }
+  const double p95 = harness::quantile(window, 0.95);
+
+  int next = current;
+  if (p95 > options_.target_p95) {
+    // Violating: spend cores on latency — grow toward the base width.
+    next = std::min(base, current * 2);
+  } else if (backlog >= deepThreshold()) {
+    // Under target with backlog: spend cores on concurrency instead.
+    next = std::max(min_team, current / 2);
+  }
+  reg.elastic_team.store(next, std::memory_order_relaxed);
 }
 
 void SolverEngine::noteRetired(std::int64_t count) {
@@ -167,8 +241,15 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   const exec::TriangularSolver& solver = *reg.solver;
   const auto n = static_cast<std::size_t>(solver.numRows());
   const std::size_t k = batch.size();
-  const int team = chooseTeam(solver, backlog);
-  const int base_team = chooseTeam(solver, 0);  // shallow-queue reference
+  const int base_team = baseTeam(solver);  // shallow-queue reference
+  const int desired = chooseTeam(reg, backlog);
+  // Draw the actual team from the shared budget: the grant — not the
+  // desire — is the executed width, so concurrent batches can never
+  // oversubscribe the machine in aggregate. Folding keeps any granted
+  // width bitwise-lossless.
+  CoreBudget::Lease cores(budget_, desired,
+                          std::min(options_.elastic_min_team, desired));
+  const int team = cores.granted();
 
   std::vector<std::vector<double>> results;
   std::exception_ptr error;
@@ -224,6 +305,10 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   reg.batches += 1;
   reg.team_size_accum += static_cast<std::uint64_t>(team);
   if (team < base_team) reg.shrunk_batches += 1;
+  if (team < desired) reg.budget_throttled_batches += 1;
+  if (static_cast<sts::index_t>(k) > options_.max_batch) {
+    reg.expanded_batches += 1;
+  }
   reg.busy_seconds += std::chrono::duration<double>(t1 - t0).count();
   reg.last_complete = t1;
   reg.saw_complete = true;
@@ -243,6 +328,9 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
     }
     reg.latency_next = (reg.latency_next + 1) % kMaxLatencySamples;
   }
+  if (options_.elastic && options_.target_p95 > 0.0) {
+    updateController(reg, base_team, backlog);
+  }
 }
 
 SolverServingStats SolverEngine::stats(SolverId id) const {
@@ -261,6 +349,8 @@ SolverServingStats SolverEngine::stats(SolverId id) const {
     out.rhs_solved = reg.rhs_solved;
     out.coalesced_rhs = reg.coalesced_rhs;
     out.shrunk_batches = reg.shrunk_batches;
+    out.budget_throttled_batches = reg.budget_throttled_batches;
+    out.expanded_batches = reg.expanded_batches;
     out.busy_seconds = reg.busy_seconds;
     if (reg.batches > 0) {
       out.mean_team_size = static_cast<double>(reg.team_size_accum) /

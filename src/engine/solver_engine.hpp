@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "engine/context_pool.hpp"
+#include "engine/core_budget.hpp"
 #include "engine/request_queue.hpp"
 #include "engine/types.hpp"
 #include "exec/solver.hpp"
@@ -45,7 +46,20 @@
 ///    any team size t <= numThreads() bitwise-lossless — so the engine
 ///    trades per-solve parallelism for cross-solve concurrency exactly
 ///    when the backlog can use it; a shallow queue keeps full-width solves
-///    for latency. Team choices are reported in SolverServingStats.
+///    for latency. With EngineOptions::target_p95 the choice is SLO-driven
+///    instead of depth-only: each solver's controller grows its team while
+///    the recent-window p95 latency violates the target and shrinks it
+///    while under target with backlog. Team choices are reported in
+///    SolverServingStats.
+///  * Cross-solver budgeting (EngineOptions::core_budget): every batch
+///    leases its team from a shared CoreBudget, so aggregate granted team
+///    sizes across concurrent batches never exceed the machine-wide
+///    budget; the grant (not the desire) is the executed width, which
+///    folding keeps bitwise-lossless.
+///  * Adaptive coalescing (EngineOptions::adaptive_batch): under a deep
+///    queue the effective coalescing cap rises toward 2 * max_batch while
+///    teams shrink, so the barrier amortization grows exactly when the
+///    backlog can feed it.
 ///  * Per-solver throughput/latency statistics aggregate via the
 ///    harness::stats quantile helpers (SolverServingStats).
 
@@ -96,11 +110,20 @@ class SolverEngine {
   const EngineOptions& options() const { return options_; }
   /// Requests queued but not yet popped into a batch (load signal).
   std::size_t queueDepth() const { return queue_.size(); }
+  /// The shared cross-batch core arbiter (limited() iff
+  /// options().core_budget > 0). peakInUse() <= options().core_budget is
+  /// the oversubscription invariant the tests pin.
+  const CoreBudget& coreBudget() const { return budget_; }
 
  private:
   struct Registered {
     std::shared_ptr<const exec::TriangularSolver> solver;
     std::unique_ptr<ContextPool> contexts;
+
+    /// The SLO controller's current team choice (0 = unset, meaning the
+    /// base width). Written under stats_mu by the batch-completion
+    /// controller step; read lock-free by chooseTeam.
+    std::atomic<int> elastic_team{0};
 
     mutable std::mutex stats_mu;
     std::uint64_t requests = 0;
@@ -110,6 +133,8 @@ class SolverEngine {
     std::uint64_t rhs_solved = 0;
     std::uint64_t coalesced_rhs = 0;
     std::uint64_t shrunk_batches = 0;
+    std::uint64_t budget_throttled_batches = 0;
+    std::uint64_t expanded_batches = 0;
     std::uint64_t team_size_accum = 0;
     double busy_seconds = 0.0;
     /// Ring buffer of recent request latencies in seconds (quantiles track
@@ -124,12 +149,23 @@ class SolverEngine {
 
   void workerLoop();
   void executeBatch(std::vector<SolveRequest>& batch, std::size_t backlog);
-  /// The elasticity policy: per-batch OpenMP team size from queue depth.
-  /// Deep queue => shrink toward base/num_workers so more batches run
-  /// concurrently; shallow queue => the base width for minimum latency.
-  /// Folding keeps every choice bitwise-lossless (solver.hpp contract).
-  int chooseTeam(const exec::TriangularSolver& solver,
-                 std::size_t backlog) const;
+  /// The base (shallow-queue) team width for one solver: team_size when
+  /// pinned, else the solver's defaultTeam().
+  int baseTeam(const exec::TriangularSolver& solver) const;
+  /// Queue depth at or above which the elastic policies engage.
+  std::size_t deepThreshold() const;
+  /// The elasticity policy: per-batch OpenMP team size. Depth-only mode
+  /// (target_p95 == 0) shrinks toward base/num_workers under a deep queue;
+  /// SLO mode returns the controller's current per-solver choice. Folding
+  /// keeps every choice bitwise-lossless (solver.hpp contract).
+  int chooseTeam(const Registered& reg, std::size_t backlog) const;
+  /// One SLO controller step after a batch completes: p95 over the recent
+  /// latency window vs. target_p95 decides grow / shrink / hold. Caller
+  /// holds reg.stats_mu.
+  void updateController(Registered& reg, int base, std::size_t backlog);
+  /// Coalescing cap for the next pop: max_batch, raised toward
+  /// 2 * max_batch under a deep queue when adaptive_batch is on.
+  sts::index_t effectiveBatchCap(std::size_t depth) const;
   /// Retires `count` in-flight submissions; wakes drain() on zero. Every
   /// in_flight_ decrement must go through here or drain() can sleep
   /// through the last completion.
@@ -140,6 +176,7 @@ class SolverEngine {
 
   EngineOptions options_;
   RequestQueue queue_;
+  CoreBudget budget_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
 

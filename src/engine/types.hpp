@@ -45,7 +45,8 @@ struct EngineOptions {
   /// for cross-solve concurrency — batches run on shrunk teams (the base
   /// width divided across the workers) so more of them execute at once; a
   /// shallow queue keeps full-width solves for minimum latency. Schedule
-  /// folding makes every team choice bitwise-lossless.
+  /// folding makes every team choice bitwise-lossless. With `target_p95`
+  /// set the depth-only rule is replaced by the SLO-driven controller.
   bool elastic = false;
   /// Smallest team the elastic policy may choose (>= 1; values above the
   /// base width are capped by it).
@@ -53,6 +54,28 @@ struct EngineOptions {
   /// Queue depth (requests still pending at batch pop) at or above which
   /// the elastic policy shrinks teams. 0 = num_workers.
   std::size_t elastic_deep_queue = 0;
+  /// Per-solver p95 latency target in seconds for the SLO-driven elastic
+  /// controller (requires `elastic`; 0 keeps the depth-only policy). The
+  /// controller watches a sliding window of recent request latencies per
+  /// solver: while the window p95 violates the target it grows teams
+  /// toward the base width (spend cores on latency); while it is under
+  /// target AND the queue is deep it shrinks them toward
+  /// `elastic_min_team` (spend cores on cross-solve concurrency instead).
+  double target_p95 = 0.0;
+  /// Aggregate core budget shared by ALL workers and solvers: the sum of
+  /// concurrently granted per-batch team sizes never exceeds it, so
+  /// concurrent batches cannot oversubscribe the machine no matter how
+  /// many workers or solvers are active. Workers lease cores from the
+  /// shared CoreBudget before each batch (blocking when exhausted) and run
+  /// on exactly the granted width. 0 = unlimited (PR 2 behavior).
+  int core_budget = 0;
+  /// Couple the coalescing budget to the elastic policy: while the queue
+  /// is deep (teams shrink) the effective batch cap rises toward
+  /// 2 * max_batch — deeper amortization exactly when backlog can feed
+  /// it — and a shallow queue restores `max_batch`. Active only with
+  /// `elastic`; off by default because it doubles the per-batch staging
+  /// memory and coalesced-request latency envelope `max_batch` implies.
+  bool adaptive_batch = false;
 };
 
 /// One queued solve. `b` is row-major n x nrhs in the ORIGINAL row
@@ -75,10 +98,17 @@ struct SolverServingStats {
   double mean_batch_rhs = 0.0;       ///< rhs_solved / successful batches
   std::uint64_t coalesced_rhs = 0;   ///< RHS solved in multi-request batches
   double busy_seconds = 0.0;         ///< summed batch execution time
-  /// Batches executed on a team smaller than the elastic base width (only
-  /// the adaptive policy shrinks; a fixed team_size is the base itself).
+  /// Batches executed on a team smaller than the elastic base width (the
+  /// adaptive policies shrink, and a CoreBudget grant below the base also
+  /// counts; a fixed team_size without contention is the base itself).
   std::uint64_t shrunk_batches = 0;
   double mean_team_size = 0.0;       ///< average OpenMP team per batch
+  /// Batches whose CoreBudget grant came back smaller than the desired
+  /// team (budget contention; 0 when core_budget is unlimited).
+  std::uint64_t budget_throttled_batches = 0;
+  /// Batches popped beyond max_batch columns by the adaptive coalescing
+  /// cap (EngineOptions::adaptive_batch under a deep queue).
+  std::uint64_t expanded_batches = 0;
   double latency_p50_seconds = 0.0;  ///< request submit -> completion
   double latency_p95_seconds = 0.0;
   /// rhs_solved / (last completion - first submission); 0 until the first

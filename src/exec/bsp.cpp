@@ -22,11 +22,11 @@ BspExecutor::BspExecutor(const CsrMatrix& lower, const Schedule& schedule)
   if (schedule.numVertices() != lower.rows()) {
     throw std::invalid_argument("BspExecutor: schedule/matrix size mismatch");
   }
-  thread_verts_.resize(static_cast<size_t>(num_threads_));
-  thread_step_ptr_.resize(static_cast<size_t>(num_threads_));
+  full_.verts.resize(static_cast<size_t>(num_threads_));
+  full_.step_ptr.resize(static_cast<size_t>(num_threads_));
   for (int t = 0; t < num_threads_; ++t) {
-    auto& verts = thread_verts_[static_cast<size_t>(t)];
-    auto& ptr = thread_step_ptr_[static_cast<size_t>(t)];
+    auto& verts = full_.verts[static_cast<size_t>(t)];
+    auto& ptr = full_.step_ptr[static_cast<size_t>(t)];
     ptr.push_back(0);
     for (index_t s = 0; s < num_supersteps_; ++s) {
       const auto group = schedule.group(s, t);
@@ -34,23 +34,28 @@ BspExecutor::BspExecutor(const CsrMatrix& lower, const Schedule& schedule)
       ptr.push_back(static_cast<offset_t>(verts.size()));
     }
   }
-  folded_.init(num_threads_);
+  rank_loads_ = detail::threadListLoads(full_.verts, full_.step_ptr,
+                                        num_supersteps_, lower.rowPtr());
+  folded_.init(num_threads_, &full_);
 }
 
-const detail::FoldedLists& BspExecutor::foldedPlan(int team) const {
-  return folded_.get(team, [this](int t) {
-    return detail::foldThreadLists(thread_verts_, thread_step_ptr_,
-                                   num_supersteps_, t);
+const detail::FoldedLists& BspExecutor::foldedPlan(
+    int team, core::FoldPolicy policy) const {
+  return folded_.get(team, policy, [this](int t, core::FoldPolicy p) {
+    const auto map =
+        core::foldRankMap(num_supersteps_, num_threads_, t, p, rank_loads_);
+    return detail::foldThreadLists(full_.verts, full_.step_ptr,
+                                   num_supersteps_, t, map);
   });
 }
 
 void BspExecutor::solve(std::span<const double> b, std::span<double> x,
-                        SolveContext& ctx, int team) const {
+                        SolveContext& ctx, int team,
+                        core::FoldPolicy policy) const {
   requireVectorSizes(lower_, b, x, 1, "BspExecutor::solve");
   detail::requireTeamSize(team, num_threads_, "BspExecutor::solve");
   ctx.requireShape(team, lower_.rows(), "BspExecutor::solve");
-  const detail::FoldedLists* plan =
-      team == num_threads_ ? nullptr : &foldedPlan(team);
+  const detail::FoldedLists& plan = foldedPlan(team, policy);
   const auto row_ptr = lower_.rowPtr();
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
@@ -63,8 +68,8 @@ void BspExecutor::solve(std::span<const double> b, std::span<double> x,
   {
     const auto t = static_cast<size_t>(omp_get_thread_num());
     int sense = barrier.initialSense();
-    const auto& verts = plan ? plan->verts[t] : thread_verts_[t];
-    const auto& ptr = plan ? plan->step_ptr[t] : thread_step_ptr_[t];
+    const auto& verts = plan.verts[t];
+    const auto& ptr = plan.step_ptr[t];
     for (index_t s = 0; s < steps; ++s) {
       const auto begin = static_cast<size_t>(ptr[static_cast<size_t>(s)]);
       const auto end = static_cast<size_t>(ptr[static_cast<size_t>(s) + 1]);
@@ -77,22 +82,27 @@ void BspExecutor::solve(std::span<const double> b, std::span<double> x,
 }
 
 void BspExecutor::solve(std::span<const double> b, std::span<double> x,
+                        SolveContext& ctx, int team) const {
+  solve(b, x, ctx, team, core::FoldPolicy::kModulo);
+}
+
+void BspExecutor::solve(std::span<const double> b, std::span<double> x,
                         SolveContext& ctx) const {
-  solve(b, x, ctx, num_threads_);
+  solve(b, x, ctx, num_threads_, core::FoldPolicy::kModulo);
 }
 
 void BspExecutor::solve(std::span<const double> b, std::span<double> x) const {
-  solve(b, x, default_ctx_, num_threads_);
+  solve(b, x, default_ctx_, num_threads_, core::FoldPolicy::kModulo);
 }
 
 void BspExecutor::solveMultiRhs(std::span<const double> b,
                                 std::span<double> x, index_t nrhs,
-                                SolveContext& ctx, int team) const {
+                                SolveContext& ctx, int team,
+                                core::FoldPolicy policy) const {
   requireVectorSizes(lower_, b, x, nrhs, "BspExecutor::solveMultiRhs");
   detail::requireTeamSize(team, num_threads_, "BspExecutor::solveMultiRhs");
   ctx.requireShape(team, lower_.rows(), "BspExecutor::solveMultiRhs");
-  const detail::FoldedLists* plan =
-      team == num_threads_ ? nullptr : &foldedPlan(team);
+  const detail::FoldedLists& plan = foldedPlan(team, policy);
   const auto row_ptr = lower_.rowPtr();
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
@@ -106,8 +116,8 @@ void BspExecutor::solveMultiRhs(std::span<const double> b,
   {
     const auto t = static_cast<size_t>(omp_get_thread_num());
     int sense = barrier.initialSense();
-    const auto& verts = plan ? plan->verts[t] : thread_verts_[t];
-    const auto& ptr = plan ? plan->step_ptr[t] : thread_step_ptr_[t];
+    const auto& verts = plan.verts[t];
+    const auto& ptr = plan.step_ptr[t];
     for (index_t s = 0; s < steps; ++s) {
       const auto begin = static_cast<size_t>(ptr[static_cast<size_t>(s)]);
       const auto end = static_cast<size_t>(ptr[static_cast<size_t>(s) + 1]);
@@ -121,13 +131,20 @@ void BspExecutor::solveMultiRhs(std::span<const double> b,
 
 void BspExecutor::solveMultiRhs(std::span<const double> b,
                                 std::span<double> x, index_t nrhs,
+                                SolveContext& ctx, int team) const {
+  solveMultiRhs(b, x, nrhs, ctx, team, core::FoldPolicy::kModulo);
+}
+
+void BspExecutor::solveMultiRhs(std::span<const double> b,
+                                std::span<double> x, index_t nrhs,
                                 SolveContext& ctx) const {
-  solveMultiRhs(b, x, nrhs, ctx, num_threads_);
+  solveMultiRhs(b, x, nrhs, ctx, num_threads_, core::FoldPolicy::kModulo);
 }
 
 void BspExecutor::solveMultiRhs(std::span<const double> b,
                                 std::span<double> x, index_t nrhs) const {
-  solveMultiRhs(b, x, nrhs, default_ctx_, num_threads_);
+  solveMultiRhs(b, x, nrhs, default_ctx_, num_threads_,
+                core::FoldPolicy::kModulo);
 }
 
 ContiguousBspExecutor::ContiguousBspExecutor(const CsrMatrix& permuted_lower,
@@ -146,19 +163,37 @@ ContiguousBspExecutor::ContiguousBspExecutor(const CsrMatrix& permuted_lower,
       group_ptr_.back() != static_cast<offset_t>(permuted_lower.rows())) {
     throw std::invalid_argument("ContiguousBspExecutor: bad group_ptr");
   }
+  // Group (s, p) covers a contiguous row range, so its load is one rowPtr
+  // difference: the groups are already superstep-major in group_ptr_.
+  const auto row_ptr = lower_.rowPtr();
+  rank_loads_.resize(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    const auto lo = static_cast<size_t>(group_ptr_[g]);
+    const auto hi = static_cast<size_t>(group_ptr_[g + 1]);
+    rank_loads_[g] = static_cast<core::weight_t>(row_ptr[hi] - row_ptr[lo]);
+  }
   folded_.init(num_threads_);
 }
 
 const ContiguousBspExecutor::FoldedRanges&
-ContiguousBspExecutor::foldedPlan(int team) const {
-  return folded_.get(team, [this](int t) {
+ContiguousBspExecutor::foldedPlan(int team, core::FoldPolicy policy) const {
+  return folded_.get(team, policy, [this](int t, core::FoldPolicy pol) {
+    const auto map =
+        core::foldRankMap(num_supersteps_, num_threads_, t, pol, rank_loads_);
+    // Inverted map: ranks of slot q in ascending order, so each superstep
+    // is walked O(numThreads()) overall rather than O(t * numThreads()).
+    std::vector<std::vector<int>> slot_ranks(static_cast<size_t>(t));
+    for (int p = 0; p < num_threads_; ++p) {
+      slot_ranks[static_cast<size_t>(map[static_cast<size_t>(p)])]
+          .push_back(p);
+    }
     FoldedRanges plan;
     plan.range_ptr.reserve(static_cast<size_t>(num_supersteps_) *
                                static_cast<size_t>(t) + 1);
     plan.range_ptr.push_back(0);
     for (index_t s = 0; s < num_supersteps_; ++s) {
       for (int q = 0; q < t; ++q) {
-        for (int p = q; p < num_threads_; p += t) {
+        for (const int p : slot_ranks[static_cast<size_t>(q)]) {
           const size_t g = static_cast<size_t>(s) *
                                static_cast<size_t>(num_threads_) +
                            static_cast<size_t>(p);
@@ -183,7 +218,7 @@ ContiguousBspExecutor::foldedPlan(int team) const {
 
 void ContiguousBspExecutor::solve(std::span<const double> b,
                                   std::span<double> x, SolveContext& ctx,
-                                  int team) const {
+                                  int team, core::FoldPolicy policy) const {
   requireVectorSizes(lower_, b, x, 1, "ContiguousBspExecutor::solve");
   detail::requireTeamSize(team, num_threads_, "ContiguousBspExecutor::solve");
   ctx.requireShape(team, lower_.rows(), "ContiguousBspExecutor::solve");
@@ -215,7 +250,7 @@ void ContiguousBspExecutor::solve(std::span<const double> b,
     return;
   }
 
-  const FoldedRanges& plan = foldedPlan(team);
+  const FoldedRanges& plan = foldedPlan(team, policy);
 #pragma omp parallel num_threads(team)
   {
     const int t = omp_get_thread_num();
@@ -237,19 +272,26 @@ void ContiguousBspExecutor::solve(std::span<const double> b,
 }
 
 void ContiguousBspExecutor::solve(std::span<const double> b,
+                                  std::span<double> x, SolveContext& ctx,
+                                  int team) const {
+  solve(b, x, ctx, team, core::FoldPolicy::kModulo);
+}
+
+void ContiguousBspExecutor::solve(std::span<const double> b,
                                   std::span<double> x,
                                   SolveContext& ctx) const {
-  solve(b, x, ctx, num_threads_);
+  solve(b, x, ctx, num_threads_, core::FoldPolicy::kModulo);
 }
 
 void ContiguousBspExecutor::solve(std::span<const double> b,
                                   std::span<double> x) const {
-  solve(b, x, default_ctx_, num_threads_);
+  solve(b, x, default_ctx_, num_threads_, core::FoldPolicy::kModulo);
 }
 
 void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
                                           std::span<double> x, index_t nrhs,
-                                          SolveContext& ctx, int team) const {
+                                          SolveContext& ctx, int team,
+                                          core::FoldPolicy policy) const {
   requireVectorSizes(lower_, b, x, nrhs,
                      "ContiguousBspExecutor::solveMultiRhs");
   detail::requireTeamSize(team, num_threads_,
@@ -285,7 +327,7 @@ void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
     return;
   }
 
-  const FoldedRanges& plan = foldedPlan(team);
+  const FoldedRanges& plan = foldedPlan(team, policy);
 #pragma omp parallel num_threads(team)
   {
     const int t = omp_get_thread_num();
@@ -308,14 +350,21 @@ void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
 
 void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
                                           std::span<double> x, index_t nrhs,
+                                          SolveContext& ctx, int team) const {
+  solveMultiRhs(b, x, nrhs, ctx, team, core::FoldPolicy::kModulo);
+}
+
+void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
+                                          std::span<double> x, index_t nrhs,
                                           SolveContext& ctx) const {
-  solveMultiRhs(b, x, nrhs, ctx, num_threads_);
+  solveMultiRhs(b, x, nrhs, ctx, num_threads_, core::FoldPolicy::kModulo);
 }
 
 void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
                                           std::span<double> x,
                                           index_t nrhs) const {
-  solveMultiRhs(b, x, nrhs, default_ctx_, num_threads_);
+  solveMultiRhs(b, x, nrhs, default_ctx_, num_threads_,
+                core::FoldPolicy::kModulo);
 }
 
 }  // namespace sts::exec

@@ -23,10 +23,12 @@
 /// built-in context and therefore remain one-solve-at-a-time.
 ///
 /// Elasticity: every context-taking overload accepts a per-solve `team`
-/// size 1 <= team <= numThreads(). The schedule executes folded (rank
-/// p -> p mod team, see elastic.hpp); results are bitwise equal to the
-/// full-width solve. Folded plans are cached per team size — construction
-/// cost is paid once, concurrent solves at mixed team sizes are safe.
+/// size 1 <= team <= numThreads() and optionally a core::FoldPolicy
+/// selecting the rank map (kModulo: p -> p mod team; kBinPack: LPT packing
+/// of whole ranks by per-superstep nnz load — see elastic.hpp). Results
+/// are bitwise equal to the full-width solve under every policy. Folded
+/// plans are cached per (team size, policy) — construction cost is paid
+/// once, concurrent solves at mixed team sizes and policies are safe.
 
 namespace sts::exec {
 
@@ -44,9 +46,11 @@ class BspExecutor {
   BspExecutor(const CsrMatrix& lower, const Schedule& schedule);
 
   /// x = L^{-1} b on a `team`-thread OpenMP team (the schedule folded to
-  /// `team` ranks); `ctx` carries the superstep barrier. Concurrent solves
-  /// need distinct contexts. Throws std::invalid_argument unless
-  /// 1 <= team <= numThreads().
+  /// `team` ranks under `policy`); `ctx` carries the superstep barrier.
+  /// Concurrent solves need distinct contexts. Throws
+  /// std::invalid_argument unless 1 <= team <= numThreads().
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx, int team, core::FoldPolicy policy) const;
   void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx, int team) const;
   /// Full-width team.
@@ -58,6 +62,9 @@ class BspExecutor {
   /// SpTRSM: X = L^{-1} B, both n x nrhs row-major. The schedule is
   /// RHS-count agnostic — each vertex simply carries nrhs times the work,
   /// so the barrier cost is amortized across the nrhs solves.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx, int team,
+                     core::FoldPolicy policy) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs, SolveContext& ctx, int team) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
@@ -74,16 +81,20 @@ class BspExecutor {
   index_t numSupersteps() const { return num_supersteps_; }
 
  private:
-  /// The folded work lists for `team` < numThreads(), cached per size.
-  const detail::FoldedLists& foldedPlan(int team) const;
+  /// The folded work lists for (team, policy), cached per key; team ==
+  /// numThreads() shares the unfolded `full_` lists across policies.
+  const detail::FoldedLists& foldedPlan(int team,
+                                        core::FoldPolicy policy) const;
 
   const CsrMatrix& lower_;
   int num_threads_ = 0;
   index_t num_supersteps_ = 0;
-  /// Vertices of thread t across all supersteps, superstep-major:
-  /// thread_verts_[t] with boundaries thread_step_ptr_[t][s].
-  std::vector<std::vector<index_t>> thread_verts_;
-  std::vector<std::vector<offset_t>> thread_step_ptr_;
+  /// The full-width per-thread work lists (verts[t] with superstep
+  /// boundaries step_ptr[t][s]); also the shared team == numThreads() plan.
+  detail::FoldedLists full_;
+  /// Per-(superstep, rank) nnz loads of `full_` (superstep-major); feeds
+  /// the kBinPack rank maps.
+  std::vector<core::weight_t> rank_loads_;
   detail::TeamPlanCache<detail::FoldedLists> folded_;
   /// Backs the context-free overloads; mutable per-solve state only.
   mutable SolveContext default_ctx_;
@@ -99,8 +110,11 @@ class ContiguousBspExecutor {
                         index_t num_supersteps, int num_cores,
                         std::vector<offset_t> group_ptr);
 
-  /// Folded team solve: thread q executes the row ranges of original ranks
-  /// q, q+team, ... per superstep. 1 <= team <= numThreads().
+  /// Folded team solve: thread q executes the row ranges of every original
+  /// rank the policy's rank map assigns to q, per superstep.
+  /// 1 <= team <= numThreads().
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx, int team, core::FoldPolicy policy) const;
   void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx, int team) const;
   void solve(std::span<const double> b, std::span<double> x,
@@ -109,6 +123,9 @@ class ContiguousBspExecutor {
 
   /// SpTRSM over the contiguous row ranges: X = L^{-1} B, n x nrhs
   /// row-major, one barrier per superstep regardless of nrhs.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx, int team,
+                     core::FoldPolicy policy) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs, SolveContext& ctx, int team) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
@@ -127,7 +144,7 @@ class ContiguousBspExecutor {
   /// Folded plan for team < numThreads(): folded thread q's superstep-s
   /// work is a short list of contiguous row runs (one per surviving
   /// original rank, adjacent runs merged). Must implement the same rank
-  /// map and concatenation order as Schedule::foldTo / foldThreadLists —
+  /// map and concatenation order as Schedule::foldWith / foldThreadLists —
   /// test_elastic pins the implementations to each other.
   struct FoldedRanges {
     /// Runs of group (s, q) are ranges[range_ptr[s * team + q] ..
@@ -135,12 +152,15 @@ class ContiguousBspExecutor {
     std::vector<offset_t> range_ptr;
     std::vector<std::pair<index_t, index_t>> ranges;  ///< [lo, hi) rows
   };
-  const FoldedRanges& foldedPlan(int team) const;
+  const FoldedRanges& foldedPlan(int team, core::FoldPolicy policy) const;
 
   const CsrMatrix& lower_;
   index_t num_supersteps_ = 0;
   int num_threads_ = 0;
   std::vector<offset_t> group_ptr_;
+  /// Per-(superstep, rank) nnz loads of the row ranges (superstep-major);
+  /// feeds the kBinPack rank maps.
+  std::vector<core::weight_t> rank_loads_;
   detail::TeamPlanCache<FoldedRanges> folded_;
   mutable SolveContext default_ctx_;
 };

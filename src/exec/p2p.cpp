@@ -22,11 +22,11 @@ P2pExecutor::P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
     throw std::invalid_argument("P2pExecutor: size mismatch");
   }
 
-  thread_verts_.resize(static_cast<size_t>(num_threads_));
-  thread_step_ptr_.resize(static_cast<size_t>(num_threads_));
+  full_.verts.resize(static_cast<size_t>(num_threads_));
+  full_.step_ptr.resize(static_cast<size_t>(num_threads_));
   for (int t = 0; t < num_threads_; ++t) {
-    auto& verts = thread_verts_[static_cast<size_t>(t)];
-    auto& ptr = thread_step_ptr_[static_cast<size_t>(t)];
+    auto& verts = full_.verts[static_cast<size_t>(t)];
+    auto& ptr = full_.step_ptr[static_cast<size_t>(t)];
     ptr.push_back(0);
     for (index_t s = 0; s < schedule.numSupersteps(); ++s) {
       const auto group = schedule.group(s, t);
@@ -34,7 +34,9 @@ P2pExecutor::P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
       ptr.push_back(static_cast<offset_t>(verts.size()));
     }
   }
-  folded_.init(num_threads_);
+  rank_loads_ = detail::threadListLoads(full_.verts, full_.step_ptr,
+                                        num_supersteps_, lower.rowPtr());
+  folded_.init(num_threads_, &full_);
 
   // Cross-thread parents in the sync DAG, flattened per vertex.
   wait_ptr_.assign(static_cast<size_t>(n) + 1, 0);
@@ -60,20 +62,23 @@ P2pExecutor::P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
   cross_deps_ = wait_ptr_.back();
 }
 
-const detail::FoldedLists& P2pExecutor::foldedPlan(int team) const {
-  return folded_.get(team, [this](int t) {
-    return detail::foldThreadLists(thread_verts_, thread_step_ptr_,
-                                   num_supersteps_, t);
+const detail::FoldedLists& P2pExecutor::foldedPlan(
+    int team, core::FoldPolicy policy) const {
+  return folded_.get(team, policy, [this](int t, core::FoldPolicy p) {
+    const auto map =
+        core::foldRankMap(num_supersteps_, num_threads_, t, p, rank_loads_);
+    return detail::foldThreadLists(full_.verts, full_.step_ptr,
+                                   num_supersteps_, t, map);
   });
 }
 
 void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
-                        SolveContext& ctx, int team) const {
+                        SolveContext& ctx, int team,
+                        core::FoldPolicy policy) const {
   detail::requireVectorSizes(lower_, b, x, 1, "P2pExecutor::solve");
   detail::requireTeamSize(team, num_threads_, "P2pExecutor::solve");
   ctx.requireShape(team, lower_.rows(), "P2pExecutor::solve");
-  const detail::FoldedLists* plan =
-      team == num_threads_ ? nullptr : &foldedPlan(team);
+  const detail::FoldedLists& plan = foldedPlan(team, policy);
   const auto row_ptr = lower_.rowPtr();
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
@@ -86,7 +91,7 @@ void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
 #pragma omp parallel num_threads(team)
   {
     const auto t = static_cast<size_t>(omp_get_thread_num());
-    const auto& verts = plan ? plan->verts[t] : thread_verts_[t];
+    const auto& verts = plan.verts[t];
     for (const index_t i : verts) {
       // Wait for cross-thread dependencies (sparsified by the reduction).
       // Under a folded team some of these sources live on this very
@@ -105,6 +110,11 @@ void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
 }
 
 void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
+                        SolveContext& ctx, int team) const {
+  solve(b, x, ctx, team, core::FoldPolicy::kModulo);
+}
+
+void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
                         SolveContext& ctx) const {
   solve(b, x, ctx, num_threads_);
 }
@@ -115,12 +125,12 @@ void P2pExecutor::solve(std::span<const double> b, std::span<double> x) const {
 
 void P2pExecutor::solveMultiRhs(std::span<const double> b,
                                 std::span<double> x, index_t nrhs,
-                                SolveContext& ctx, int team) const {
+                                SolveContext& ctx, int team,
+                                core::FoldPolicy policy) const {
   detail::requireVectorSizes(lower_, b, x, nrhs, "P2pExecutor::solveMultiRhs");
   detail::requireTeamSize(team, num_threads_, "P2pExecutor::solveMultiRhs");
   ctx.requireShape(team, lower_.rows(), "P2pExecutor::solveMultiRhs");
-  const detail::FoldedLists* plan =
-      team == num_threads_ ? nullptr : &foldedPlan(team);
+  const detail::FoldedLists& plan = foldedPlan(team, policy);
   const auto row_ptr = lower_.rowPtr();
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
@@ -134,7 +144,7 @@ void P2pExecutor::solveMultiRhs(std::span<const double> b,
 #pragma omp parallel num_threads(team)
   {
     const auto t = static_cast<size_t>(omp_get_thread_num());
-    const auto& verts = plan ? plan->verts[t] : thread_verts_[t];
+    const auto& verts = plan.verts[t];
     for (const index_t i : verts) {
       for (offset_t k = wait_ptr_[static_cast<size_t>(i)];
            k < wait_ptr_[static_cast<size_t>(i) + 1]; ++k) {
@@ -146,6 +156,12 @@ void P2pExecutor::solveMultiRhs(std::span<const double> b,
       done[static_cast<size_t>(i)].store(epoch, std::memory_order_release);
     }
   }
+}
+
+void P2pExecutor::solveMultiRhs(std::span<const double> b,
+                                std::span<double> x, index_t nrhs,
+                                SolveContext& ctx, int team) const {
+  solveMultiRhs(b, x, nrhs, ctx, team, core::FoldPolicy::kModulo);
 }
 
 void P2pExecutor::solveMultiRhs(std::span<const double> b,

@@ -25,13 +25,14 @@
 /// context-free overloads share a built-in context and remain
 /// one-solve-at-a-time.
 ///
-/// Elasticity: the context-taking overloads accept a per-solve `team` size;
-/// the vertex lists fold (rank p -> p mod team, superstep-major order
-/// preserved) while the wait lists stay fixed — a dependency whose source
-/// folds onto the waiter's own thread is computed earlier in that thread's
-/// list, so its spin resolves immediately. Deadlock freedom carries over
-/// because folded cross-thread parents still sit in strictly earlier
-/// supersteps.
+/// Elasticity: the context-taking overloads accept a per-solve `team` size
+/// and optionally a core::FoldPolicy; the vertex lists fold by the
+/// policy's rank map (superstep-major order preserved) while the wait
+/// lists stay fixed — a dependency whose source folds onto the waiter's
+/// own thread is computed earlier in that thread's list, so its spin
+/// resolves immediately. Deadlock freedom carries over for any
+/// rank-granularity map because folded cross-thread parents still sit in
+/// strictly earlier supersteps.
 
 namespace sts::exec {
 
@@ -54,6 +55,8 @@ class P2pExecutor {
   /// epoch-stamped completion flags. Concurrent solves need distinct
   /// contexts. 1 <= team <= numThreads().
   void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx, int team, core::FoldPolicy policy) const;
+  void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx, int team) const;
   void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx) const;
@@ -61,6 +64,9 @@ class P2pExecutor {
 
   /// SpTRSM: X = L^{-1} B, both n x nrhs row-major; one completion-flag
   /// store per vertex regardless of nrhs.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx, int team,
+                     core::FoldPolicy policy) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs, SolveContext& ctx, int team) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
@@ -79,17 +85,20 @@ class P2pExecutor {
   offset_t numCrossDependencies() const { return cross_deps_; }
 
  private:
-  const detail::FoldedLists& foldedPlan(int team) const;
+  const detail::FoldedLists& foldedPlan(int team,
+                                        core::FoldPolicy policy) const;
 
   const CsrMatrix& lower_;
   int num_threads_ = 0;
   index_t num_supersteps_ = 0;
   offset_t cross_deps_ = 0;
 
-  /// Per-thread vertex execution order, with superstep boundaries kept so
-  /// the lists can fold onto smaller teams (elastic.hpp).
-  std::vector<std::vector<index_t>> thread_verts_;
-  std::vector<std::vector<offset_t>> thread_step_ptr_;
+  /// Full-width per-thread vertex execution order, with superstep
+  /// boundaries kept so the lists can fold onto smaller teams
+  /// (elastic.hpp); also the shared team == numThreads() plan.
+  detail::FoldedLists full_;
+  /// Per-(superstep, rank) nnz loads of `full_` for kBinPack rank maps.
+  std::vector<core::weight_t> rank_loads_;
   /// wait_list of vertex v: cross-thread parents in the sync DAG, stored
   /// flat: wait_adj_[wait_ptr_[v] .. wait_ptr_[v+1]).
   std::vector<offset_t> wait_ptr_;

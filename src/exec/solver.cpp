@@ -164,13 +164,14 @@ std::unique_ptr<SolveContext> TriangularSolver::createContext() const {
 }
 
 void TriangularSolver::solve(std::span<const double> b, std::span<double> x,
-                             SolveContext& ctx, int threads) const {
+                             SolveContext& ctx, int threads,
+                             core::FoldPolicy policy) const {
   if (static_cast<index_t>(b.size()) != n_ ||
       static_cast<index_t>(x.size()) != n_) {
     throw std::invalid_argument("TriangularSolver::solve: size mismatch");
   }
   if (!permuted_) {
-    solvePermuted(b, x, ctx, threads);
+    solvePermuted(b, x, ctx, threads, policy);
     return;
   }
   const auto n = static_cast<size_t>(n_);
@@ -179,10 +180,15 @@ void TriangularSolver::solve(std::span<const double> b, std::span<double> x,
   for (size_t i = 0; i < n; ++i) {
     b_perm[i] = b[static_cast<size_t>(total_new_to_old_[i])];
   }
-  solvePermuted(b_perm, x_perm, ctx, threads);
+  solvePermuted(b_perm, x_perm, ctx, threads, policy);
   for (size_t i = 0; i < n; ++i) {
     x[static_cast<size_t>(total_new_to_old_[i])] = x_perm[i];
   }
+}
+
+void TriangularSolver::solve(std::span<const double> b, std::span<double> x,
+                             SolveContext& ctx, int threads) const {
+  solve(b, x, ctx, threads, options_.fold_policy);
 }
 
 void TriangularSolver::solve(std::span<const double> b, std::span<double> x,
@@ -197,7 +203,8 @@ void TriangularSolver::solve(std::span<const double> b,
 
 void TriangularSolver::solveMultiRhs(std::span<const double> b,
                                      std::span<double> x, index_t nrhs,
-                                     SolveContext& ctx, int threads) const {
+                                     SolveContext& ctx, int threads,
+                                     core::FoldPolicy policy) const {
   const auto n = static_cast<size_t>(n_);
   if (nrhs <= 0 || b.size() != n * static_cast<size_t>(nrhs) ||
       x.size() != b.size()) {
@@ -219,11 +226,11 @@ void TriangularSolver::solveMultiRhs(std::span<const double> b,
     x_out = x_perm;
   }
   if (contiguous_) {
-    contiguous_->solveMultiRhs(b_in, x_out, nrhs, ctx, team);
+    contiguous_->solveMultiRhs(b_in, x_out, nrhs, ctx, team, policy);
   } else if (p2p_) {
-    p2p_->solveMultiRhs(b_in, x_out, nrhs, ctx, team);
+    p2p_->solveMultiRhs(b_in, x_out, nrhs, ctx, team, policy);
   } else {
-    bsp_->solveMultiRhs(b_in, x_out, nrhs, ctx, team);
+    bsp_->solveMultiRhs(b_in, x_out, nrhs, ctx, team, policy);
   }
   if (permuted_) {
     for (size_t i = 0; i < n; ++i) {
@@ -231,6 +238,12 @@ void TriangularSolver::solveMultiRhs(std::span<const double> b,
       for (size_t c = 0; c < r; ++c) x[old * r + c] = x_out[i * r + c];
     }
   }
+}
+
+void TriangularSolver::solveMultiRhs(std::span<const double> b,
+                                     std::span<double> x, index_t nrhs,
+                                     SolveContext& ctx, int threads) const {
+  solveMultiRhs(b, x, nrhs, ctx, threads, options_.fold_policy);
 }
 
 void TriangularSolver::solveMultiRhs(std::span<const double> b,
@@ -247,7 +260,8 @@ void TriangularSolver::solveMultiRhs(std::span<const double> b,
 
 void TriangularSolver::solvePermuted(std::span<const double> b,
                                      std::span<double> x, SolveContext& ctx,
-                                     int threads) const {
+                                     int threads,
+                                     core::FoldPolicy policy) const {
   if (static_cast<index_t>(b.size()) != n_ ||
       static_cast<index_t>(x.size()) != n_) {
     throw std::invalid_argument(
@@ -255,12 +269,18 @@ void TriangularSolver::solvePermuted(std::span<const double> b,
   }
   const int team = clampTeam(threads);
   if (contiguous_) {
-    contiguous_->solve(b, x, ctx, team);
+    contiguous_->solve(b, x, ctx, team, policy);
   } else if (p2p_) {
-    p2p_->solve(b, x, ctx, team);
+    p2p_->solve(b, x, ctx, team, policy);
   } else {
-    bsp_->solve(b, x, ctx, team);
+    bsp_->solve(b, x, ctx, team, policy);
   }
+}
+
+void TriangularSolver::solvePermuted(std::span<const double> b,
+                                     std::span<double> x, SolveContext& ctx,
+                                     int threads) const {
+  solvePermuted(b, x, ctx, threads, options_.fold_policy);
 }
 
 void TriangularSolver::solvePermuted(std::span<const double> b,

@@ -41,8 +41,13 @@
 /// The analyzed schedule is re-targetable: every context-taking solve also
 /// accepts a per-solve team size `threads`, 1 <= threads <= numThreads(),
 /// executing the schedule folded onto that many OpenMP threads
-/// (Schedule::foldTo; folded work lists are cached per team size inside
-/// the executors). Folding is lossless — results are bitwise equal to the
+/// (Schedule::foldTo; folded work lists are cached per (team size, fold
+/// policy) inside the executors). How ranks map onto the smaller team is a
+/// core::FoldPolicy — SolverOptions::fold_policy sets the solver-wide
+/// default (kModulo preserves historical behavior; kBinPack LPT-packs
+/// whole ranks by per-superstep work, cutting folded imbalance), and every
+/// team-taking overload has a sibling taking an explicit policy. Folding
+/// is lossless under every policy — results are bitwise equal to the
 /// full-width solve for every team size and scheduler kind. Overloads
 /// without an explicit team run at defaultTeam(): numThreads() clamped to
 /// the host's hardware concurrency, so analyzing for more threads than the
@@ -91,6 +96,10 @@ struct SolverOptions {
   core::GrowLocalOptions growlocal;
   /// Validate the schedule during analysis (O(V+E); cheap insurance).
   bool validate = true;
+  /// Default rank map for elastic (folded-team) solves; overloads taking an
+  /// explicit core::FoldPolicy override it per solve. kModulo keeps PR 2's
+  /// p mod t fold; kBinPack packs ranks by per-superstep load.
+  core::FoldPolicy fold_policy = core::FoldPolicy::kModulo;
 };
 
 class TriangularSolver {
@@ -109,8 +118,11 @@ class TriangularSolver {
   /// x = T^{-1} b in the ORIGINAL row ordering (permutations are internal).
   /// The context overload is safe to call concurrently with any other
   /// context-carrying solve on this instance. `threads` selects the
-  /// per-solve team (elasticity contract above); overloads without it run
-  /// at defaultTeam().
+  /// per-solve team and `policy` the fold rank map (elasticity contract
+  /// above); overloads without them run at defaultTeam() under
+  /// options().fold_policy.
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx, int threads, core::FoldPolicy policy) const;
   void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx, int threads) const;
   void solve(std::span<const double> b, std::span<double> x,
@@ -123,6 +135,9 @@ class TriangularSolver {
   /// solves, amortizing every barrier/flag crossing (Table 7.7's
   /// block-parallel idea); column c of X is bitwise equal to solve() on
   /// column c of B.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx, int threads,
+                     core::FoldPolicy policy) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs, SolveContext& ctx, int threads) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
@@ -137,6 +152,9 @@ class TriangularSolver {
   /// on the permuted problem") — avoid the two O(n) vector permutations
   /// per solve() this way. Identical to solve() when no permutation was
   /// applied.
+  void solvePermuted(std::span<const double> b, std::span<double> x,
+                     SolveContext& ctx, int threads,
+                     core::FoldPolicy policy) const;
   void solvePermuted(std::span<const double> b, std::span<double> x,
                      SolveContext& ctx, int threads) const;
   void solvePermuted(std::span<const double> b, std::span<double> x,

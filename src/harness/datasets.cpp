@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <filesystem>
 
 #include "dag/dag.hpp"
 #include "dag/wavefronts.hpp"
 #include "datagen/grids.hpp"
 #include "datagen/random_matrices.hpp"
 #include "sparse/ic0.hpp"
+#include "sparse/mm_io.hpp"
 #include "sparse/ordering.hpp"
 
 namespace sts::harness {
@@ -59,7 +63,78 @@ std::vector<std::pair<std::string, CsrMatrix>> spdFamily(double scale) {
   return family;
 }
 
+/// Lower-triangularizes a general square matrix into a solvable SpTRSV
+/// instance: keep the lower triangle and make sure every diagonal entry is
+/// stored and nonzero (absent or explicitly-zero diagonals get 1.0, the
+/// usual unit-diagonal convention for pattern-ish inputs).
+CsrMatrix toSolvableLower(const CsrMatrix& m) {
+  std::vector<sts::Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(m.nnz()));
+  for (index_t i = 0; i < m.rows(); ++i) {
+    const auto cols = m.rowCols(i);
+    const auto vals = m.rowValues(i);
+    bool has_diag = false;
+    for (size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] > i) break;  // columns sorted ascending
+      double value = vals[k];
+      if (cols[k] == i) {
+        has_diag = true;
+        if (value == 0.0) value = 1.0;
+      }
+      triplets.push_back({i, cols[k], value});
+    }
+    if (!has_diag) triplets.push_back({i, i, 1.0});
+  }
+  return CsrMatrix::fromTriplets(m.rows(), m.rows(), triplets);
+}
+
 }  // namespace
+
+Dataset suiteSparseReal() {
+  const char* dir = std::getenv("STS_MM_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  // Non-throwing iteration end to end: one unreadable entry (racing
+  // delete, permission hole) must skip, not abort the whole harness.
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "STS_MM_DIR: cannot read %s: %s\n", dir,
+                 ec.message().c_str());
+    return {};
+  }
+  for (const fs::directory_iterator end; it != end; it.increment(ec)) {
+    if (ec) {
+      std::fprintf(stderr, "STS_MM_DIR: stopped reading %s: %s\n", dir,
+                   ec.message().c_str());
+      break;
+    }
+    std::error_code type_ec;
+    if (it->is_regular_file(type_ec) && !type_ec &&
+        it->path().extension() == ".mtx") {
+      files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  Dataset set;
+  for (const auto& path : files) {
+    try {
+      const CsrMatrix m =
+          sparse::readCsrFromMatrixMarketFile(path.string());
+      if (m.rows() != m.cols()) {
+        std::fprintf(stderr, "STS_MM_DIR: skipping non-square %s\n",
+                     path.filename().string().c_str());
+        continue;
+      }
+      set.push_back({path.stem().string(), toSolvableLower(m)});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "STS_MM_DIR: skipping %s: %s\n",
+                   path.filename().string().c_str(), e.what());
+    }
+  }
+  return set;
+}
 
 double benchScale() {
   return std::clamp(envDouble("STS_BENCH_SCALE", 1.0), 0.05, 10.0);
@@ -146,6 +221,10 @@ std::vector<std::pair<std::string, Dataset>> allDatasets(double scale) {
   all.emplace_back("iChol*", icholStandin(scale));
   all.emplace_back("Erdos-Renyi", erdosRenyiSet(scale));
   all.emplace_back("Narrow bandw.", narrowBandSet(scale));
+  // Real SuiteSparse matrices ride along whenever STS_MM_DIR provides
+  // them; unset means the synthetic families above stand alone.
+  Dataset real = suiteSparseReal();
+  if (!real.empty()) all.emplace_back("suitesparse", std::move(real));
   return all;
 }
 

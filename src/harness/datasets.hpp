@@ -16,8 +16,12 @@
 ///   erdosRenyiSet       — the paper's own generator (§6.2.4)
 ///   narrowBandSet       — the paper's own generator (§6.2.5)
 ///
-/// All entries are lower triangular SpTRSV instances. Sizes scale with
-/// STS_BENCH_SCALE (default 1.0; e.g. 0.25 for smoke runs).
+/// plus, when the STS_MM_DIR environment variable points at a directory of
+/// Matrix Market files, a "suitesparse" family of real collection matrices
+/// (suiteSparseReal) — the §6.2.1 inputs proper instead of stand-ins.
+///
+/// All entries are lower triangular SpTRSV instances. Synthetic sizes
+/// scale with STS_BENCH_SCALE (default 1.0; e.g. 0.25 for smoke runs).
 
 namespace sts::harness {
 
@@ -45,7 +49,16 @@ Dataset icholStandin(double scale = benchScale());
 Dataset erdosRenyiSet(double scale = benchScale());
 Dataset narrowBandSet(double scale = benchScale());
 
-/// All five families in §6.2 order with their display names.
+/// Real Matrix Market matrices from the directory named by STS_MM_DIR
+/// (every *.mtx file, sorted by name). Each matrix is lower-triangularized
+/// on load and its diagonal normalized to be fully stored and nonzero, so
+/// every entry is a solvable SpTRSV instance; non-square or unparseable
+/// files are skipped with a note on stderr. Returns an empty dataset —
+/// silently — when the variable is unset or names no usable file.
+Dataset suiteSparseReal();
+
+/// All §6.2 families in order with their display names, plus the real
+/// "suitesparse" family when STS_MM_DIR yields one (see suiteSparseReal).
 std::vector<std::pair<std::string, Dataset>> allDatasets(
     double scale = benchScale());
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <limits>
 #include <sstream>
 
@@ -8,6 +10,7 @@
 #include "harness/runner.hpp"
 #include "harness/stats.hpp"
 #include "harness/table.hpp"
+#include "sparse/mm_io.hpp"
 
 namespace sts::harness {
 namespace {
@@ -118,6 +121,48 @@ TEST(Datasets, MetisVariantChangesPattern) {
   // Same size, permuted pattern.
   EXPECT_EQ(natural[0].lower.rows(), metis[0].lower.rows());
   EXPECT_FALSE(natural[0].lower.structureEquals(metis[0].lower));
+}
+
+TEST(Datasets, SuiteSparseRealLoadsFromMmDir) {
+  // Without STS_MM_DIR the family is silently absent.
+  unsetenv("STS_MM_DIR");
+  EXPECT_TRUE(suiteSparseReal().empty());
+
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "sts_mm_dir_test";
+  fs::create_directories(dir);
+  // A general square matrix with a zero diagonal entry (row 2): loading
+  // must lower-triangularize and normalize the diagonal. An upper entry
+  // (0, 2) must be dropped by the triangularization.
+  const std::vector<sts::Triplet> triplets = {
+      {0, 0, 2.0}, {0, 2, 5.0}, {1, 0, -1.0}, {1, 1, 3.0}, {2, 1, 4.0}};
+  sparse::writeMatrixMarketFile(
+      (dir / "tiny.mtx").string(),
+      sparse::CsrMatrix::fromTriplets(3, 3, triplets));
+  // A non-square file must be skipped, not fail the whole family.
+  sparse::writeMatrixMarketFile(
+      (dir / "rect.mtx").string(),
+      sparse::CsrMatrix::fromTriplets(2, 3, {{{0, 0, 1.0}, {1, 2, 1.0}}}));
+
+  setenv("STS_MM_DIR", dir.string().c_str(), 1);
+  const auto set = suiteSparseReal();
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0].name, "tiny");
+  EXPECT_TRUE(set[0].lower.isLowerTriangular());
+  EXPECT_TRUE(set[0].lower.hasFullDiagonal());
+  EXPECT_DOUBLE_EQ(set[0].lower.at(2, 2), 1.0);   // normalized diagonal
+  EXPECT_DOUBLE_EQ(set[0].lower.at(1, 0), -1.0);  // lower entries kept
+  EXPECT_FALSE(set[0].lower.hasEntry(0, 2));      // upper entries dropped
+
+  // allDatasets picks the family up under the "suitesparse" label.
+  const auto all = allDatasets(0.05);
+  EXPECT_EQ(all.back().first, "suitesparse");
+  EXPECT_EQ(all.back().second.size(), 1u);
+
+  unsetenv("STS_MM_DIR");
+  EXPECT_TRUE(suiteSparseReal().empty());
+  fs::remove_all(dir);
 }
 
 TEST(Datasets, AverageWavefrontMatchesDefinition) {
