@@ -5,7 +5,11 @@
 /// instead of spending every core on one solve — the elasticity gap
 /// Steiner et al. identify for the source paper's schedules. This bench
 /// sweeps offered load (staged backlog depth) and per-batch team size and
-/// emits JSON: team size vs. aggregate throughput per dataset.
+/// emits JSON: team size vs. aggregate throughput per dataset. Every
+/// configuration is measured twice — unpinned, and with
+/// EngineOptions::pin_threads so each batch's team runs pinned to its
+/// disjoint leased core set (the core-set-affinity configuration; the
+/// pinned columns print "-" when the platform lacks affinity support).
 ///
 ///   STS_BENCH_SCALE / STS_BENCH_REPS control dataset sizing as usual;
 ///   STS_ELASTIC_WIDTH    (default 4)  schedule width C;
@@ -14,7 +18,9 @@
 ///   STS_ELASTIC_REPS     (default 5)  timed passes per configuration.
 ///
 /// Exit code 0 iff, under the deepest backlog, some fixed team t < C beats
-/// the full-width-only configuration on at least one dataset.
+/// the full-width-only configuration on at least one dataset (the unpinned
+/// sweep — pinning is reported, not gated, because its benefit depends on
+/// the host's cache topology).
 
 #include <chrono>
 #include <cstdio>
@@ -27,7 +33,9 @@
 
 #include "bench_common.hpp"
 #include "engine/solver_engine.hpp"
+#include "exec/affinity.hpp"
 #include "harness/datasets.hpp"
+#include "harness/serving.hpp"
 #include "harness/stats.hpp"
 
 namespace {
@@ -54,27 +62,22 @@ struct Result {
   double rhs_per_second = 0.0;
   double mean_team_size = 0.0;
   std::uint64_t shrunk_batches = 0;
+  /// Same configuration with pin_threads: teams pinned to disjoint leased
+  /// core sets. 0 when affinity is unsupported.
+  double pinned_median_seconds = 0.0;
+  double pinned_rhs_per_second = 0.0;
+  double pinned_mean_team_size = 0.0;
+  std::uint64_t migrated_threads = 0;  ///< migrations the pins corrected
 };
 
-/// Median resume()-to-drain seconds for a staged backlog of `backlog`
-/// single-RHS requests, over `reps` timed passes after one warmup.
+/// Median resume()-to-drain seconds for a staged backlog of single-RHS
+/// requests, over `reps` timed passes after one warmup (the shared
+/// harness staging methodology).
 double measurePass(sts::engine::SolverEngine& engine,
                    sts::engine::SolverId id,
                    const std::vector<std::vector<double>>& rhs, int reps) {
-  using Clock = std::chrono::high_resolution_clock;
-  std::vector<double> seconds;
-  for (int pass = 0; pass < reps + 1; ++pass) {
-    engine.pause();
-    std::vector<std::future<std::vector<double>>> futures;
-    futures.reserve(rhs.size());
-    for (const auto& b : rhs) futures.push_back(engine.submit(id, b));
-    const auto t0 = Clock::now();
-    engine.resume();
-    for (auto& f : futures) f.get();
-    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
-    if (pass > 0) seconds.push_back(s);  // pass 0 is warmup
-  }
-  return sts::harness::quantile(seconds, 0.5);
+  return sts::harness::measureStagedPasses(engine, id, rhs, /*warmup=*/1,
+                                           reps);
 }
 
 }  // namespace
@@ -157,8 +160,6 @@ int main() {
         } else {
           opts.elastic = true;
         }
-        engine::SolverEngine engine(opts);
-        const auto id = engine.registerSolver(solver);
         const std::vector<std::vector<double>> slice(
             rhs.begin(), rhs.begin() + backlog);
         Result r;
@@ -167,15 +168,45 @@ int main() {
         r.config = config.name;
         r.team = config.team;
         r.backlog = backlog;
-        r.median_seconds = measurePass(engine, id, slice, reps);
-        r.rhs_per_second =
-            static_cast<double>(backlog) / r.median_seconds;
-        const auto stats = engine.stats(id);
-        r.mean_team_size = stats.mean_team_size;
-        r.shrunk_batches = stats.shrunk_batches;
-        std::printf("%-20s %-12s backlog %4d: %8.3f ms, %9.0f rhs/s\n",
-                    entry.name.c_str(), config.name.c_str(), backlog,
-                    r.median_seconds * 1e3, r.rhs_per_second);
+        {
+          engine::SolverEngine engine(opts);
+          const auto id = engine.registerSolver(solver);
+          r.median_seconds = measurePass(engine, id, slice, reps);
+          r.rhs_per_second =
+              static_cast<double>(backlog) / r.median_seconds;
+          const auto stats = engine.stats(id);
+          r.mean_team_size = stats.mean_team_size;
+          r.shrunk_batches = stats.shrunk_batches;
+        }
+        // The pinned twin: identical load, but every batch's team pins to
+        // its leased core set (disjoint across concurrent batches). The
+        // budget caps teams at the detected core count, so the pinned
+        // column doubles as the never-oversubscribe configuration.
+        if (sts::exec::affinitySupported() &&
+            !sts::exec::systemCoreSet().empty()) {
+          engine::EngineOptions pinned_opts = opts;
+          pinned_opts.pin_threads = true;
+          engine::SolverEngine engine(pinned_opts);
+          const auto id = engine.registerSolver(solver);
+          r.pinned_median_seconds = measurePass(engine, id, slice, reps);
+          r.pinned_rhs_per_second =
+              static_cast<double>(backlog) / r.pinned_median_seconds;
+          const auto stats = engine.stats(id);
+          r.pinned_mean_team_size = stats.mean_team_size;
+          r.migrated_threads = stats.migrated_threads;
+        }
+        if (r.pinned_median_seconds > 0.0) {
+          std::printf("%-20s %-12s backlog %4d: %8.3f ms, %9.0f rhs/s | "
+                      "pinned %8.3f ms, %9.0f rhs/s\n",
+                      entry.name.c_str(), config.name.c_str(), backlog,
+                      r.median_seconds * 1e3, r.rhs_per_second,
+                      r.pinned_median_seconds * 1e3, r.pinned_rhs_per_second);
+        } else {
+          std::printf("%-20s %-12s backlog %4d: %8.3f ms, %9.0f rhs/s | "
+                      "pinned -\n",
+                      entry.name.c_str(), config.name.c_str(), backlog,
+                      r.median_seconds * 1e3, r.rhs_per_second);
+        }
         if (backlog == deepest) {
           if (config.name == "full") {
             full_deep_rhs_per_s = r.rhs_per_second;
@@ -206,11 +237,16 @@ int main() {
     std::printf("%s{\"dataset\":\"%s\",\"matrix\":\"%s\",\"config\":\"%s\","
                 "\"team\":%d,\"backlog\":%d,\"median_seconds\":%.6g,"
                 "\"rhs_per_second\":%.6g,\"mean_team_size\":%.3g,"
-                "\"shrunk_batches\":%llu}",
+                "\"shrunk_batches\":%llu,\"pinned_median_seconds\":%.6g,"
+                "\"pinned_rhs_per_second\":%.6g,"
+                "\"pinned_mean_team_size\":%.3g,\"migrated_threads\":%llu}",
                 i == 0 ? "" : ",", r.dataset.c_str(), r.matrix.c_str(),
                 r.config.c_str(), r.team, r.backlog, r.median_seconds,
                 r.rhs_per_second, r.mean_team_size,
-                static_cast<unsigned long long>(r.shrunk_batches));
+                static_cast<unsigned long long>(r.shrunk_batches),
+                r.pinned_median_seconds, r.pinned_rhs_per_second,
+                r.pinned_mean_team_size,
+                static_cast<unsigned long long>(r.migrated_threads));
   }
   std::printf("]}\n");
 

@@ -4,7 +4,9 @@
 /// single-RHS requests into solveMultiRhs batches, so every superstep
 /// barrier is paid once per batch instead of once per request — the Table
 /// 7.7 block-parallel amortization applied to request serving. Runs on the
-/// §6.2 stand-in datasets.
+/// §6.2 stand-in datasets. The "pinned" columns repeat the batched pass
+/// with EngineOptions::pin_threads (teams pinned to their leased core set;
+/// "-" when the platform lacks affinity support).
 ///
 ///   STS_BENCH_SCALE / STS_BENCH_REPS control size and repetitions;
 ///   STS_SERVE_REQUESTS (default 32) the staged backlog per pass;
@@ -48,7 +50,8 @@ int main() {
   harness::MeasureOptions opts;
   std::vector<harness::ServingMeasurement> all;
   Table table({"dataset", "matrix", "seq ms", "batched ms", "speedup",
-               "mean batch", "seq rhs/s", "batched rhs/s"});
+               "mean batch", "seq rhs/s", "batched rhs/s", "pinned ms",
+               "pin speedup"});
   for (const auto& [dataset_name, dataset] :
        {std::pair<std::string, harness::Dataset>{
             "suitesparse-standin", harness::suiteSparseStandin()},
@@ -63,7 +66,12 @@ int main() {
                     Table::fmt(m.batched_seconds * 1e3),
                     Table::fmt(m.speedup), Table::fmt(m.mean_batch_rhs, 1),
                     Table::fmt(m.sequential_rhs_per_second, 0),
-                    Table::fmt(m.batched_rhs_per_second, 0)});
+                    Table::fmt(m.batched_rhs_per_second, 0),
+                    m.pinned_seconds > 0.0
+                        ? Table::fmt(m.pinned_seconds * 1e3)
+                        : "-",
+                    m.pinned_seconds > 0.0 ? Table::fmt(m.pinned_speedup)
+                                           : "-"});
       all.push_back(std::move(m));
     }
   }

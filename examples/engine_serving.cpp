@@ -5,10 +5,14 @@
 /// from several client threads. The engine coalesces compatible queued
 /// requests into multi-RHS batches (one schedule traversal per batch) and
 /// worker concurrency is safe because every in-flight batch runs on its
-/// own SolveContext. The engine runs the load-adaptive elasticity policy:
-/// under a deep queue it folds solves onto shrunk OpenMP teams so more
-/// batches execute concurrently (folding is bitwise-lossless). Prints the
-/// per-solver serving statistics, including the realized team sizes.
+/// own SolveContext. The engine exercises the full adaptive option set
+/// (see the interaction table in engine/types.hpp): the SLO-driven
+/// elasticity controller (`target_p95`) sizes each batch's OpenMP team,
+/// the shared CoreBudget (`core_budget` + auto-detected core set) leases
+/// every team a disjoint set of CPU ids, and `pin_threads` pins team
+/// members to their leased cores — all bitwise-lossless, so every client
+/// still gets exact results. Prints the per-solver serving statistics,
+/// including the realized team sizes and pin/migration counters.
 ///
 ///   ./engine_serving
 
@@ -19,6 +23,7 @@
 
 #include "datagen/grids.hpp"
 #include "engine/solver_engine.hpp"
+#include "exec/affinity.hpp"
 #include "exec/solver.hpp"
 #include "exec/verify.hpp"
 
@@ -37,12 +42,26 @@ int main() {
               static_cast<int>(solver->schedule().numSupersteps()),
               solver->analysisSeconds() * 1e3);
 
+  // The current adaptive option set (PR 2-4); every knob is optional and
+  // bitwise-lossless, so this block is safe to copy into production code.
   engine::EngineOptions engine_options;
-  engine_options.num_workers = 2;
-  engine_options.max_batch = 8;
-  engine_options.elastic = true;  // deep queue => shrunk teams, more overlap
+  engine_options.num_workers = 2;     // dispatcher threads
+  engine_options.max_batch = 8;       // coalescing budget (RHS per batch)
+  engine_options.elastic = true;      // adapt team sizes to load
+  engine_options.elastic_min_team = 1;
+  engine_options.target_p95 = 0.050;  // SLO: p95 <= 50 ms drives the teams
+  engine_options.adaptive_batch = true;  // deep queue raises the batch cap
+  engine_options.core_budget = 0;     // aggregate team cap (0 = unlimited)
+  engine_options.pin_threads = true;  // pin teams to leased, disjoint cores
+  // engine_options.core_set = {0, 2, 4};  // or name the cores explicitly
   engine::SolverEngine engine(engine_options);
   const auto id = engine.registerSolver(solver);
+  if (engine.coreBudget().hasCoreSet()) {
+    std::printf("core set: %zu CPUs leased disjointly across batches\n",
+                engine.coreBudget().coreSet().size());
+  } else {
+    std::printf("core set: none (affinity unsupported) — running unpinned\n");
+  }
 
   // The ground truth every client's request is built from.
   const auto x_true = exec::referenceSolution(lower.rows(), /*seed=*/9);
@@ -87,6 +106,11 @@ int main() {
   std::printf("elastic teams: mean %.2f threads/batch, %llu batches shrunk\n",
               stats.mean_team_size,
               static_cast<unsigned long long>(stats.shrunk_batches));
+  std::printf("affinity: %llu batches pinned, %llu members pinned, "
+              "%llu migrations corrected\n",
+              static_cast<unsigned long long>(stats.pinned_batches),
+              static_cast<unsigned long long>(stats.pinned_threads),
+              static_cast<unsigned long long>(stats.migrated_threads));
   std::printf("worst relative error %.2e -> %s\n", worst,
               worst < 1e-10 ? "OK" : "FAILED");
   return worst < 1e-10 ? 0 : 1;

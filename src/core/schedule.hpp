@@ -17,6 +17,14 @@
 /// Schedules are immutable after construction and share their assignment
 /// arrays through a const payload, so copying a Schedule — including
 /// foldTo(numCores()), which returns *this — is O(1) and allocation-free.
+///
+/// A schedule's "core" is a RANK, not a physical CPU: execution may fold
+/// any schedule onto a smaller team (foldTo / the FoldPolicy machinery
+/// below — the elasticity contract in docs/ARCHITECTURE.md), and the
+/// serving engine maps the resulting team onto concrete CPU ids via
+/// engine::CoreBudget's core-set mode (the affinity contract). Nothing in
+/// this layer knows about either; it only promises that whole-rank merges
+/// preserve validity.
 
 namespace sts::core {
 
@@ -71,6 +79,12 @@ double foldedImbalance(std::span<const weight_t> rank_loads,
                        index_t num_supersteps, int width, int target,
                        std::span<const int> rank_map);
 
+/// An immutable (π, σ, order) triple over a DAG's vertices: coreOf(v) is
+/// the rank executing v, superstepOf(v) the barrier-delimited phase, and
+/// group(s, p) the dependency-respecting execution order of rank p's work
+/// in superstep s. Construction validates nothing by itself —
+/// validateSchedule is the opt-in Def. 2.1 check the solver facade runs
+/// during analysis. Copies are O(1) (shared payload).
 class Schedule {
  public:
   Schedule();

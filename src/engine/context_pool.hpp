@@ -62,6 +62,10 @@ class ContextPool {
 
  private:
   void release(std::unique_ptr<exec::SolveContext> ctx) {
+    // Pooled contexts carry no placement: a batch's pinned core set must
+    // not leak into whichever batch leases this context next (including
+    // after an exception unwound past the solve).
+    ctx->clearPinnedCores();
     std::lock_guard<std::mutex> lock(mu_);
     free_.push_back(std::move(ctx));
   }

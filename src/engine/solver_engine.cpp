@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "exec/affinity.hpp"
 #include "harness/stats.hpp"
 
 namespace sts::engine {
@@ -19,8 +20,30 @@ constexpr std::size_t kMaxLatencySamples = 1 << 16;
 constexpr std::size_t kSloWindow = 64;
 }  // namespace
 
+CoreBudget SolverEngine::makeBudget(const EngineOptions& options) {
+  std::vector<int> ids = options.core_set;
+  if (ids.empty() && options.pin_threads) {
+    // Auto-detect: the CPUs this process may use become the core universe.
+    // Empty on platforms without affinity support — counting mode below.
+    ids = exec::systemCoreSet();
+  }
+  if (!ids.empty()) {
+    if (options.core_budget > 0 &&
+        static_cast<int>(ids.size()) > options.core_budget) {
+      // Both knobs set: the budget caps how much of the set is usable.
+      std::sort(ids.begin(), ids.end());
+      ids.resize(static_cast<std::size_t>(options.core_budget));
+    }
+    return CoreBudget(std::move(ids));
+  }
+  return CoreBudget(options.core_budget);
+}
+
 SolverEngine::SolverEngine(EngineOptions options)
-    : options_(options), budget_(options.core_budget) {
+    : options_(std::move(options)),
+      budget_(makeBudget(options_)),
+      pin_enabled_(options_.pin_threads && budget_.hasCoreSet() &&
+                   exec::affinitySupported()) {
   if (options_.num_workers <= 0) {
     throw std::invalid_argument("SolverEngine: num_workers must be > 0");
   }
@@ -250,6 +273,13 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   CoreBudget::Lease cores(budget_, desired,
                           std::min(options_.elastic_min_team, desired));
   const int team = cores.granted();
+  // Arm pinning when the lease names concrete cores: the team members pin
+  // themselves to the leased ids inside the solve region, so this batch
+  // cannot overlap any concurrent batch's cores (the leases are disjoint)
+  // and its folded ranks keep a stable core for the whole batch.
+  const bool pin_batch = pin_enabled_ && !cores.cores().empty();
+  std::uint64_t pinned_threads = 0;
+  std::uint64_t migrated_threads = 0;
 
   std::vector<std::vector<double>> results;
   std::exception_ptr error;
@@ -257,6 +287,10 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   sts::index_t total_rhs = 0;
   try {
     auto lease = reg.contexts->acquire();
+    if (pin_batch) {
+      lease.context().setPinnedCores(
+          {cores.cores().begin(), cores.cores().end()});
+    }
     if (k == 1) {
       SolveRequest& request = batch.front();
       total_rhs = request.nrhs;
@@ -288,6 +322,10 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
         for (std::size_t i = 0; i < n; ++i) x[i] = x_packed[i * k + j];
       }
     }
+    // Read the pin outcome before the context returns to the pool (the
+    // pool clears pin state on release so placements never leak).
+    pinned_threads = lease.context().pinnedThreads();
+    migrated_threads = lease.context().migratedThreads();
   } catch (...) {
     error = std::current_exception();
   }
@@ -309,6 +347,12 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   if (static_cast<sts::index_t>(k) > options_.max_batch) {
     reg.expanded_batches += 1;
   }
+  // A pinned batch is one that actually RAN pinned: pins that all failed
+  // (or a solve that threw) must not inflate the counter, or the stats
+  // invariant pinned_threads >= pinned_batches breaks.
+  if (pin_batch && !error && pinned_threads > 0) reg.pinned_batches += 1;
+  reg.pinned_threads += pinned_threads;
+  reg.migrated_threads += migrated_threads;
   reg.busy_seconds += std::chrono::duration<double>(t1 - t0).count();
   reg.last_complete = t1;
   reg.saw_complete = true;
@@ -351,6 +395,9 @@ SolverServingStats SolverEngine::stats(SolverId id) const {
     out.shrunk_batches = reg.shrunk_batches;
     out.budget_throttled_batches = reg.budget_throttled_batches;
     out.expanded_batches = reg.expanded_batches;
+    out.pinned_batches = reg.pinned_batches;
+    out.pinned_threads = reg.pinned_threads;
+    out.migrated_threads = reg.migrated_threads;
     out.busy_seconds = reg.busy_seconds;
     if (reg.batches > 0) {
       out.mean_team_size = static_cast<double>(reg.team_size_accum) /

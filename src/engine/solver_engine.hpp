@@ -56,6 +56,15 @@
 ///    sizes across concurrent batches never exceed the machine-wide
 ///    budget; the grant (not the desire) is the executed width, which
 ///    folding keeps bitwise-lossless.
+///  * Core-set affinity (EngineOptions::core_set / pin_threads): the
+///    budget can allocate WHICH cores, not just how many — grants become
+///    explicit disjoint CPU-id sets (user-supplied or detected from the
+///    process mask), and with pin_threads each batch's OpenMP team members
+///    pin themselves to their leased ids for the solve region, so
+///    concurrent batches never overlap cores and folded ranks stop
+///    migrating across caches. Placement only — results stay bitwise;
+///    unsupported platforms silently run unpinned (STS_HAS_AFFINITY).
+///    See the option-interaction table in engine/types.hpp.
 ///  * Adaptive coalescing (EngineOptions::adaptive_batch): under a deep
 ///    queue the effective coalescing cap rises toward 2 * max_batch while
 ///    teams shrink, so the barrier amortization grows exactly when the
@@ -65,6 +74,11 @@
 
 namespace sts::engine {
 
+/// The serving facade: register analyzed solvers, submit right-hand
+/// sides, get futures. Construction spawns the workers; destruction
+/// drains and joins them. All public methods are thread-safe. The
+/// adaptive behavior is entirely options-driven — see the interaction
+/// table in engine/types.hpp and docs/ARCHITECTURE.md.
 class SolverEngine {
  public:
   explicit SolverEngine(EngineOptions options = {});
@@ -135,6 +149,9 @@ class SolverEngine {
     std::uint64_t shrunk_batches = 0;
     std::uint64_t budget_throttled_batches = 0;
     std::uint64_t expanded_batches = 0;
+    std::uint64_t pinned_batches = 0;
+    std::uint64_t pinned_threads = 0;
+    std::uint64_t migrated_threads = 0;
     std::uint64_t team_size_accum = 0;
     double busy_seconds = 0.0;
     /// Ring buffer of recent request latencies in seconds (quantiles track
@@ -170,6 +187,11 @@ class SolverEngine {
   /// in_flight_ decrement must go through here or drain() can sleep
   /// through the last completion.
   void noteRetired(std::int64_t count);
+  /// Resolves EngineOptions::{core_budget,core_set,pin_threads} into the
+  /// engine's CoreBudget: core-set mode when ids are given or detectable
+  /// (truncated to the first core_budget ids when both are set), counting
+  /// mode otherwise.
+  static CoreBudget makeBudget(const EngineOptions& options);
   Registered& registered(SolverId id) const;
   std::future<std::vector<double>> enqueue(SolverId id, std::vector<double> b,
                                            sts::index_t nrhs);
@@ -177,6 +199,10 @@ class SolverEngine {
   EngineOptions options_;
   RequestQueue queue_;
   CoreBudget budget_;
+  /// pin_threads requested AND the budget carries a core set AND the
+  /// platform has affinity syscalls — the three conditions under which
+  /// executeBatch arms per-batch pinning.
+  bool pin_enabled_ = false;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
 

@@ -19,6 +19,25 @@ namespace sts::engine {
 /// never recycled for the engine's lifetime.
 using SolverId = std::uint32_t;
 
+/// ## How the adaptive options interact
+///
+/// `fold_policy` (exec::SolverOptions), `target_p95`, `core_budget`,
+/// `core_set`, and `pin_threads` compose; each owns one decision:
+///
+/// | Option                 | Decides                 | Interaction |
+/// |------------------------|-------------------------|-------------|
+/// | `elastic`              | whether team sizes adapt at all | master switch; `team_size` is the base width it adapts from |
+/// | `target_p95`           | HOW the team size is chosen | 0: depth-only rule (deep queue divides base across workers); >0: per-solver SLO controller (grow on p95 violation, shrink under slack + backlog). Requires `elastic`. |
+/// | `core_budget`          | HOW MANY cores all batches may hold in aggregate | the chosen (desired) team is capped by the grant; grants below desire count as `budget_throttled_batches`. 0 = unlimited. |
+/// | `core_set`             | WHICH cores back the budget | non-empty switches CoreBudget to core-set mode: grants are explicit disjoint CPU ids; `core_budget` > 0 additionally truncates the set to its first `core_budget` ids |
+/// | `pin_threads`          | WHERE the granted team executes | pins each team member to one leased id (auto-detects `core_set` from the process mask when empty); placement only — results stay bitwise identical |
+/// | `fold_policy` (solver) | HOW ranks map onto the granted width | kModulo / kBinPack; any width from the rules above executes losslessly |
+///
+/// Pipeline per batch: elastic policy picks a DESIRED width → CoreBudget
+/// grants an actual width (and, in core-set mode, which cores) →
+/// `fold_policy` folds the schedule onto that width → `pin_threads` nails
+/// each team member to its leased core. Every stage is bitwise-lossless,
+/// so all five options can be toggled freely in production.
 struct EngineOptions {
   /// Persistent dispatcher threads executing batches. Each concurrent
   /// batch additionally spins up the solver's own OpenMP team, so the
@@ -69,6 +88,23 @@ struct EngineOptions {
   /// shared CoreBudget before each batch (blocking when exhausted) and run
   /// on exactly the granted width. 0 = unlimited (PR 2 behavior).
   int core_budget = 0;
+  /// Explicit logical CPU ids backing the core budget. Non-empty switches
+  /// engine::CoreBudget into core-set mode: every batch's lease names
+  /// concrete, mutually disjoint CPU ids instead of an anonymous count
+  /// (ids must be unique and >= 0; `core_budget` > 0 truncates the set to
+  /// its first `core_budget` ids). Empty with `pin_threads` set: the set
+  /// is auto-detected from the process affinity mask (sched_getaffinity).
+  /// Empty without `pin_threads`: counting mode (PR 3 behavior).
+  std::vector<int> core_set;
+  /// Pin each batch's OpenMP team members to the batch's leased core ids
+  /// (one stable core per member, exec::ScopedPin inside the solve region,
+  /// previous mask restored on exit) so concurrent batches run on
+  /// non-overlapping cores and folded ranks stop migrating across caches.
+  /// Requires a core set (explicit or auto-detected) and platform affinity
+  /// support (STS_HAS_AFFINITY); silently runs unpinned otherwise — the
+  /// portable fallback. Placement only: results are bitwise identical to
+  /// unpinned solves. Pin outcomes are reported in SolverServingStats.
+  bool pin_threads = false;
   /// Couple the coalescing budget to the elastic policy: while the queue
   /// is deep (teams shrink) the effective batch cap rises toward
   /// 2 * max_batch — deeper amortization exactly when backlog can feed
@@ -109,6 +145,16 @@ struct SolverServingStats {
   /// Batches popped beyond max_batch columns by the adaptive coalescing
   /// cap (EngineOptions::adaptive_batch under a deep queue).
   std::uint64_t expanded_batches = 0;
+  /// Batches executed with their OpenMP team pinned to the leased core set
+  /// (EngineOptions::pin_threads with affinity support; 0 otherwise).
+  std::uint64_t pinned_batches = 0;
+  /// Team members successfully pinned to a leased core, summed over
+  /// pinned batches.
+  std::uint64_t pinned_threads = 0;
+  /// Pinned members found executing OUTSIDE their batch's leased set when
+  /// the pin was taken — OS migrations the pin corrected (the locality
+  /// leak of unpinned elastic serving, made visible).
+  std::uint64_t migrated_threads = 0;
   double latency_p50_seconds = 0.0;  ///< request submit -> completion
   double latency_p95_seconds = 0.0;
   /// rhs_solved / (last completion - first submission); 0 until the first

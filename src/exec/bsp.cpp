@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "exec/affinity.hpp"
 #include "exec/row_kernels.hpp"
 #include "exec/serial.hpp"
 
@@ -61,12 +62,15 @@ void BspExecutor::solve(std::span<const double> b, std::span<double> x,
   const auto values = lower_.values();
   const index_t steps = num_supersteps_;
   const bool sync = team > 1;
+  const std::span<const int> pin_set = ctx.pinnedCores();
   SpinBarrier& barrier = ctx.barrier_;
 
   omp_set_dynamic(0);
 #pragma omp parallel num_threads(team)
   {
     const auto t = static_cast<size_t>(omp_get_thread_num());
+    const ScopedPin pin(pin_set, static_cast<int>(t));
+    ctx.notePin(pin);
     int sense = barrier.initialSense();
     const auto& verts = plan.verts[t];
     const auto& ptr = plan.step_ptr[t];
@@ -109,12 +113,15 @@ void BspExecutor::solveMultiRhs(std::span<const double> b,
   const index_t steps = num_supersteps_;
   const bool sync = team > 1;
   const auto r = static_cast<size_t>(nrhs);
+  const std::span<const int> pin_set = ctx.pinnedCores();
   SpinBarrier& barrier = ctx.barrier_;
 
   omp_set_dynamic(0);
 #pragma omp parallel num_threads(team)
   {
     const auto t = static_cast<size_t>(omp_get_thread_num());
+    const ScopedPin pin(pin_set, static_cast<int>(t));
+    ctx.notePin(pin);
     int sense = barrier.initialSense();
     const auto& verts = plan.verts[t];
     const auto& ptr = plan.step_ptr[t];
@@ -227,6 +234,7 @@ void ContiguousBspExecutor::solve(std::span<const double> b,
   const auto values = lower_.values();
   const index_t steps = num_supersteps_;
   const bool sync = team > 1;
+  const std::span<const int> pin_set = ctx.pinnedCores();
   SpinBarrier& barrier = ctx.barrier_;
 
   omp_set_dynamic(0);
@@ -235,6 +243,8 @@ void ContiguousBspExecutor::solve(std::span<const double> b,
 #pragma omp parallel num_threads(cores)
     {
       const int t = omp_get_thread_num();
+      const ScopedPin pin(pin_set, t);
+      ctx.notePin(pin);
       int sense = barrier.initialSense();
       for (index_t s = 0; s < steps; ++s) {
         const size_t g = static_cast<size_t>(s) * static_cast<size_t>(cores) +
@@ -254,6 +264,8 @@ void ContiguousBspExecutor::solve(std::span<const double> b,
 #pragma omp parallel num_threads(team)
   {
     const int t = omp_get_thread_num();
+    const ScopedPin pin(pin_set, t);
+    ctx.notePin(pin);
     int sense = barrier.initialSense();
     for (index_t s = 0; s < steps; ++s) {
       const size_t g = static_cast<size_t>(s) * static_cast<size_t>(team) +
@@ -304,6 +316,7 @@ void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
   const index_t steps = num_supersteps_;
   const bool sync = team > 1;
   const auto r = static_cast<size_t>(nrhs);
+  const std::span<const int> pin_set = ctx.pinnedCores();
   SpinBarrier& barrier = ctx.barrier_;
 
   omp_set_dynamic(0);
@@ -312,6 +325,8 @@ void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
 #pragma omp parallel num_threads(cores)
     {
       const int t = omp_get_thread_num();
+      const ScopedPin pin(pin_set, t);
+      ctx.notePin(pin);
       int sense = barrier.initialSense();
       for (index_t s = 0; s < steps; ++s) {
         const size_t g = static_cast<size_t>(s) * static_cast<size_t>(cores) +
@@ -331,6 +346,8 @@ void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
 #pragma omp parallel num_threads(team)
   {
     const int t = omp_get_thread_num();
+    const ScopedPin pin(pin_set, t);
+    ctx.notePin(pin);
     int sense = barrier.initialSense();
     for (index_t s = 0; s < steps; ++s) {
       const size_t g = static_cast<size_t>(s) * static_cast<size_t>(team) +

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "exec/affinity.hpp"
 #include "exec/row_kernels.hpp"
 #include "exec/serial.hpp"
 
@@ -83,6 +84,7 @@ void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
   const auto col_idx = lower_.colIdx();
   const auto values = lower_.values();
   const std::uint32_t epoch = ctx.beginP2pEpoch();
+  const std::span<const int> pin_set = ctx.pinnedCores();
   std::atomic<std::uint32_t>* const done = ctx.done_.get();
 
   // A dynamically shrunk team would strand the spin-waits on vertices of
@@ -91,6 +93,8 @@ void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
 #pragma omp parallel num_threads(team)
   {
     const auto t = static_cast<size_t>(omp_get_thread_num());
+    const ScopedPin pin(pin_set, static_cast<int>(t));
+    ctx.notePin(pin);
     const auto& verts = plan.verts[t];
     for (const index_t i : verts) {
       // Wait for cross-thread dependencies (sparsified by the reduction).
@@ -136,6 +140,7 @@ void P2pExecutor::solveMultiRhs(std::span<const double> b,
   const auto values = lower_.values();
   const auto r = static_cast<size_t>(nrhs);
   const std::uint32_t epoch = ctx.beginP2pEpoch();
+  const std::span<const int> pin_set = ctx.pinnedCores();
   std::atomic<std::uint32_t>* const done = ctx.done_.get();
 
   // A dynamically shrunk team would strand the spin-waits on vertices of
@@ -144,6 +149,8 @@ void P2pExecutor::solveMultiRhs(std::span<const double> b,
 #pragma omp parallel num_threads(team)
   {
     const auto t = static_cast<size_t>(omp_get_thread_num());
+    const ScopedPin pin(pin_set, static_cast<int>(t));
+    ctx.notePin(pin);
     const auto& verts = plan.verts[t];
     for (const index_t i : verts) {
       for (offset_t k = wait_ptr_[static_cast<size_t>(i)];

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "exec/affinity.hpp"
 
 namespace sts::exec {
 
@@ -20,6 +23,22 @@ void SolveContext::requireShape(int num_threads, sts::index_t num_vertices,
         std::to_string(num_threads_) + " threads, " + std::to_string(n_) +
         " rows) cannot host a solve of (" + std::to_string(num_threads) +
         " threads, " + std::to_string(num_vertices) + " rows)");
+  }
+}
+
+void SolveContext::setPinnedCores(std::vector<int> cores) {
+  pin_cores_ = std::move(cores);
+  pinned_threads_.store(0, std::memory_order_relaxed);
+  migrated_threads_.store(0, std::memory_order_relaxed);
+}
+
+void SolveContext::clearPinnedCores() { setPinnedCores({}); }
+
+void SolveContext::notePin(const ScopedPin& pin) {
+  if (!pin.pinned()) return;
+  pinned_threads_.fetch_add(1, std::memory_order_relaxed);
+  if (pin.migrated()) {
+    migrated_threads_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

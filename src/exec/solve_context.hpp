@@ -32,6 +32,14 @@
 ///     O(1) amortized: the barrier is sense-reversing, the P2P flags are
 ///     epoch-stamped) and cheap to pool — `engine::SolverEngine` keeps a
 ///     free list of them per registered solver.
+///   * A context may carry a PINNED CORE SET (setPinnedCores): while one is
+///     set, OpenMP team member t of a solve on this context pins itself to
+///     `cores[t % cores.size()]` for the duration of the parallel region
+///     (exec::ScopedPin — previous mask restored on exit, no-op when the
+///     platform lacks affinity support). Pinning is pure placement: results
+///     stay bitwise identical to the unpinned solve. Setting or clearing
+///     the pin set follows the same one-solve-at-a-time rule as the rest of
+///     the context state.
 ///
 /// The context-free `solve(b, x)` overloads run on a built-in default
 /// context and therefore keep the historical one-solve-at-a-time
@@ -43,6 +51,7 @@ namespace sts::exec {
 class BspExecutor;
 class ContiguousBspExecutor;
 class P2pExecutor;
+class ScopedPin;
 class TriangularSolver;
 
 class SolveContext {
@@ -60,6 +69,29 @@ class SolveContext {
 
   /// Epoch of the most recent P2P solve (0 before any). Diagnostic.
   std::uint32_t currentEpoch() const { return epoch_; }
+
+  /// Arms pinning for subsequent solves on this context: team member t of
+  /// each solve pins itself to `cores[t % cores.size()]` while the parallel
+  /// region runs (engine batches pass their CoreBudget lease here). Resets
+  /// the pin counters. Not to be called concurrently with a solve on this
+  /// context.
+  void setPinnedCores(std::vector<int> cores);
+  /// Disarms pinning and resets the pin counters (the ContextPool does this
+  /// on release so pooled contexts never leak a stale placement).
+  void clearPinnedCores();
+  /// The armed core set (empty = unpinned solves).
+  std::span<const int> pinnedCores() const { return pin_cores_; }
+
+  /// Team members successfully pinned since the last setPinnedCores /
+  /// clearPinnedCores (0 when unsupported — the portable fallback).
+  std::uint64_t pinnedThreads() const {
+    return pinned_threads_.load(std::memory_order_relaxed);
+  }
+  /// Pinned members that were executing OUTSIDE the armed core set when
+  /// their pin was taken — OS migrations the pin corrected.
+  std::uint64_t migratedThreads() const {
+    return migrated_threads_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class BspExecutor;
@@ -85,9 +117,18 @@ class SolveContext {
   std::span<double> bScratch(std::size_t size);
   std::span<double> xScratch(std::size_t size);
 
+  /// Executors report each team member's ScopedPin outcome here from
+  /// inside the parallel region (hence the relaxed atomics).
+  void notePin(const ScopedPin& pin);
+
   int num_threads_ = 0;
   sts::index_t n_ = 0;
   SpinBarrier barrier_;
+
+  /// Armed core set for pinned solves; empty = no pinning.
+  std::vector<int> pin_cores_;
+  std::atomic<std::uint64_t> pinned_threads_{0};
+  std::atomic<std::uint64_t> migrated_threads_{0};
 
   /// done_[v] == epoch_ means v is computed in the current P2P solve.
   std::unique_ptr<std::atomic<std::uint32_t>[]> done_;

@@ -55,6 +55,16 @@
 /// Values of `threads` above numThreads() clamp to numThreads(); values
 /// below 1 throw std::invalid_argument.
 ///
+/// ## Affinity
+///
+/// Placement is a context property, not a solver one: arm a SolveContext
+/// with a core set (SolveContext::setPinnedCores) and every solve on that
+/// context pins OpenMP team member t to `cores[t % cores.size()]` for the
+/// duration of the parallel region (no-op without platform support —
+/// STS_HAS_AFFINITY). Pinning never changes results; the serving engine
+/// uses it to keep concurrent batches on disjoint leased core sets (see
+/// engine/core_budget.hpp and docs/ARCHITECTURE.md, contract 3).
+///
 /// Upper triangular inputs are normalized internally by the reversal
 /// permutation (backward substitution is forward substitution on the
 /// reversed system).
@@ -102,6 +112,11 @@ struct SolverOptions {
   core::FoldPolicy fold_policy = core::FoldPolicy::kModulo;
 };
 
+/// The analyze-once product: an immutable bundle of (normalized matrix,
+/// validated Schedule, executor with cached fold plans, permutation). All
+/// solve entry points are `const`; everything a solve mutates lives in the
+/// SolveContext it runs on. Move-constructible; executor references into
+/// the matrix stay valid across moves (shared_ptr-held payloads).
 class TriangularSolver {
  public:
   /// Runs the analysis phase: normalize to lower triangular, build the DAG,

@@ -3,9 +3,32 @@
 #include <chrono>
 #include <memory>
 
+#include "exec/affinity.hpp"
 #include "harness/stats.hpp"
 
 namespace sts::harness {
+
+double measureStagedPasses(engine::SolverEngine& engine,
+                           engine::SolverId id,
+                           const std::vector<std::vector<double>>& rhs,
+                           int warmup, int reps) {
+  using Clock = std::chrono::high_resolution_clock;
+  std::vector<double> pass_seconds;
+  const int passes = warmup + reps;
+  for (int pass = 0; pass < passes; ++pass) {
+    engine.pause();
+    std::vector<std::future<std::vector<double>>> futures;
+    futures.reserve(rhs.size());
+    for (const auto& b : rhs) futures.push_back(engine.submit(id, b));
+    const auto t0 = Clock::now();
+    engine.resume();
+    for (auto& f : futures) f.get();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (pass >= warmup) pass_seconds.push_back(seconds);
+  }
+  return quantile(pass_seconds, 0.5);
+}
 
 ServingMeasurement measureServing(const std::string& matrix_name,
                                   const CsrMatrix& lower, SchedulerKind kind,
@@ -63,37 +86,40 @@ ServingMeasurement measureServing(const std::string& matrix_name,
   engine_opts.coalesce = true;
   engine_opts.start_paused = true;
   engine_opts.team_size = width;
-  engine::SolverEngine engine(engine_opts);
-  const auto id = engine.registerSolver(solver);
-
-  // Staging (pause + submits) happens outside the timed region: the
-  // measured quantity is resume()-to-completion of the staged backlog,
-  // matching the serving.hpp methodology.
   {
-    using Clock = std::chrono::high_resolution_clock;
-    std::vector<double> pass_seconds;
-    const int passes = opts.warmup + opts.reps;
-    for (int pass = 0; pass < passes; ++pass) {
-      engine.pause();
-      std::vector<std::future<std::vector<double>>> futures;
-      futures.reserve(rhs.size());
-      for (const auto& b : rhs) futures.push_back(engine.submit(id, b));
-      const auto t0 = Clock::now();
-      engine.resume();
-      for (auto& f : futures) f.get();
-      const double seconds =
-          std::chrono::duration<double>(Clock::now() - t0).count();
-      if (pass >= opts.warmup) pass_seconds.push_back(seconds);
-    }
-    m.batched_seconds = quantile(pass_seconds, 0.5);
+    engine::SolverEngine engine(engine_opts);
+    const auto id = engine.registerSolver(solver);
+    m.batched_seconds =
+        measureStagedPasses(engine, id, rhs, opts.warmup, opts.reps);
+    m.mean_batch_rhs = engine.stats(id).mean_batch_rhs;
   }
 
-  m.mean_batch_rhs = engine.stats(id).mean_batch_rhs;
+  // Pinned engine: identical staged passes, but every batch's team is
+  // pinned to its leased core set (the core-set-affinity configuration).
+  // The budget caps teams at the detected core count, so an analyzed width
+  // beyond the machine runs narrower pinned teams — by design.
+  if (exec::affinitySupported() && !exec::systemCoreSet().empty()) {
+    engine::EngineOptions pinned_opts = engine_opts;
+    pinned_opts.pin_threads = true;
+    engine::SolverEngine engine(pinned_opts);
+    const auto id = engine.registerSolver(solver);
+    m.pinned_seconds =
+        measureStagedPasses(engine, id, rhs, opts.warmup, opts.reps);
+    const auto stats = engine.stats(id);
+    m.pinned_batches = stats.pinned_batches;
+    m.migrated_threads = stats.migrated_threads;
+  }
+
   m.speedup = m.sequential_seconds / m.batched_seconds;
   m.sequential_rhs_per_second =
       static_cast<double>(num_requests) / m.sequential_seconds;
   m.batched_rhs_per_second =
       static_cast<double>(num_requests) / m.batched_seconds;
+  if (m.pinned_seconds > 0.0) {
+    m.pinned_speedup = m.batched_seconds / m.pinned_seconds;
+    m.pinned_rhs_per_second =
+        static_cast<double>(num_requests) / m.pinned_seconds;
+  }
   return m;
 }
 

@@ -324,41 +324,43 @@ TEST(BinPackFold, FoldToSelfSharesPayload) {
 TEST(CoreBudget, ValidatesAndTracksPeak) {
   engine::CoreBudget budget(4);
   EXPECT_TRUE(budget.limited());
+  EXPECT_FALSE(budget.hasCoreSet());
   EXPECT_THROW(budget.acquire(0), std::invalid_argument);
   EXPECT_THROW(budget.acquire(2, 0), std::invalid_argument);
-  const int a = budget.acquire(3);
-  EXPECT_EQ(a, 3);
+  auto a = budget.acquire(3);
+  EXPECT_EQ(a.count, 3);
+  EXPECT_TRUE(a.ids.empty());  // counting mode: anonymous grants
   // Partial grant: only 1 of 4 is free.
-  const int partial = budget.acquire(3);
-  EXPECT_EQ(partial, 1);
+  auto partial = budget.acquire(3);
+  EXPECT_EQ(partial.count, 1);
   EXPECT_EQ(budget.inUse(), 4);
   EXPECT_EQ(budget.peakInUse(), 4);
   EXPECT_EQ(budget.throttledAcquires(), 1u);
-  budget.release(a);
-  budget.release(partial);
+  budget.release(std::move(a));
+  budget.release(std::move(partial));
   EXPECT_EQ(budget.inUse(), 0);
   EXPECT_EQ(budget.peakInUse(), 4);
 
   engine::CoreBudget unlimited(0);
   EXPECT_FALSE(unlimited.limited());
-  EXPECT_EQ(unlimited.acquire(64), 64);
+  EXPECT_EQ(unlimited.acquire(64).count, 64);
   EXPECT_EQ(unlimited.inUse(), 0);
 }
 
 TEST(CoreBudget, MinNeededBlocksUntilAvailable) {
   engine::CoreBudget budget(4);
-  const int held = budget.acquire(3);
-  ASSERT_EQ(held, 3);
+  auto held = budget.acquire(3);
+  ASSERT_EQ(held.count, 3);
   std::atomic<bool> granted{false};
   std::thread waiter([&] {
     // min_needed 2 > 1 free: must block until the release below.
-    const int got = budget.acquire(2, 2);
+    auto got = budget.acquire(2, 2);
     granted.store(true);
-    budget.release(got);
+    budget.release(std::move(got));
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   EXPECT_FALSE(granted.load());
-  budget.release(held);
+  budget.release(std::move(held));
   waiter.join();
   EXPECT_TRUE(granted.load());
   EXPECT_EQ(budget.inUse(), 0);

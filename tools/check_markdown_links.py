@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fail on intra-repo markdown links that point at missing files.
+
+Scans every tracked *.md under the repo root for inline links
+`[text](target)` and checks that relative targets resolve to an existing
+file or directory (anchors are stripped; absolute URLs and mailto are
+ignored). Exit code 1 with a per-link report when anything is broken —
+the CI docs job runs this so README/docs refactors cannot silently orphan
+a reference.
+
+Usage: tools/check_markdown_links.py [repo-root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links; the target must not contain whitespace (bare
+# citation brackets like [AS89] have no following parenthesis and never
+# match).
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {"build", ".git", ".claude"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    broken = []
+    checked = 0
+    for md in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS or part.startswith("build")
+               for part in md.relative_to(root).parts):
+            continue
+        in_fence = False
+        for lineno, line in enumerate(md.read_text().splitlines(), 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK.findall(line):
+                if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                checked += 1
+                resolved = (root / path[1:]) if path.startswith("/") \
+                    else (md.parent / path)
+                if not resolved.exists():
+                    broken.append(
+                        f"{md.relative_to(root)}:{lineno}: "
+                        f"broken link -> {target}")
+    for line in broken:
+        print(line)
+    print(f"checked {checked} intra-repo links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
