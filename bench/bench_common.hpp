@@ -3,6 +3,7 @@
 #include <omp.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -12,6 +13,16 @@
 /// Shared banner/format helpers for the per-table bench binaries.
 
 namespace sts::bench {
+
+/// Positive-integer environment knob: `name`'s value when it parses to a
+/// positive int, `fallback` otherwise (the shared convention of every
+/// STS_*_WIDTH/REPS/... bench knob).
+inline int envInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
 
 /// Host metadata fields for the machine-readable bench outputs (no braces,
 /// ready to splice into a JSON object): core count and OpenMP width make

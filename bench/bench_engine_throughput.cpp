@@ -24,12 +24,7 @@
 
 namespace {
 
-int envInt(const char* name, int fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) return fallback;
-  const int parsed = std::atoi(value);
-  return parsed > 0 ? parsed : fallback;
-}
+using sts::bench::envInt;
 
 }  // namespace
 

@@ -15,7 +15,9 @@
 #include "datagen/random_matrices.hpp"
 #include "exec/bsp.hpp"
 #include "exec/p2p.hpp"
+#include "exec/row_kernels.hpp"
 #include "exec/serial.hpp"
+#include "exec/solver.hpp"
 
 namespace {
 
@@ -91,6 +93,86 @@ void BM_P2pSolve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * lower.nnz());
 }
 BENCHMARK(BM_P2pSolve);
+
+/// Scalar multi-RHS row kernel (computeRowMulti: the shared-CSR walk's
+/// column loop, variable width) over every row serially; Arg = nrhs.
+void BM_MultiRhsKernelScalar(benchmark::State& state) {
+  const auto& lower = benchMatrix();
+  const auto r = static_cast<size_t>(state.range(0));
+  const auto n = static_cast<size_t>(lower.rows());
+  const std::vector<double> b(n * r, 1.0);
+  std::vector<double> x(b.size(), 0.0);
+  for (auto _ : state) {
+    for (index_t i = 0; i < lower.rows(); ++i) {
+      exec::detail::computeRowMulti(lower.rowPtr(), lower.colIdx(),
+                                    lower.values(), b, x, i,
+                                    static_cast<index_t>(r));
+    }
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lower.nnz() *
+                          static_cast<int64_t>(r));
+}
+BENCHMARK(BM_MultiRhsKernelScalar)->Arg(4)->Arg(8);
+
+/// Column-blocked multi-RHS row kernel (computeRowMultiPacked: fixed
+/// 8/4-wide register blocks + tail — the slab walk's kernel) on the SAME
+/// CSR memory, isolating the kernel effect from the layout effect.
+void BM_MultiRhsKernelBlocked(benchmark::State& state) {
+  const auto& lower = benchMatrix();
+  const auto r = static_cast<size_t>(state.range(0));
+  const auto n = static_cast<size_t>(lower.rows());
+  const std::vector<double> b(n * r, 1.0);
+  std::vector<double> x(b.size(), 0.0);
+  const auto row_ptr = lower.rowPtr();
+  const auto col_idx = lower.colIdx();
+  const auto values = lower.values();
+  for (auto _ : state) {
+    for (index_t i = 0; i < lower.rows(); ++i) {
+      const auto begin = static_cast<size_t>(row_ptr[static_cast<size_t>(i)]);
+      const auto diag =
+          static_cast<size_t>(row_ptr[static_cast<size_t>(i) + 1]) - 1;
+      exec::detail::computeRowMultiPacked(col_idx.data() + begin,
+                                          values.data() + begin,
+                                          diag - begin, values[diag], b, x,
+                                          i, r);
+    }
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lower.nnz() *
+                          static_cast<int64_t>(r));
+}
+BENCHMARK(BM_MultiRhsKernelBlocked)->Arg(4)->Arg(8);
+
+/// End-to-end storage ablation on one executor: the full multi-RHS solve
+/// through the shared CSR vs the thread-local slab (layout + blocked
+/// kernel + prefetch); Arg = nrhs.
+void BM_BspSolveMultiStorage(benchmark::State& state,
+                             exec::StorageKind storage) {
+  const auto& lower = benchMatrix();
+  const auto schedule = core::growLocalSchedule(benchDag(), {.num_cores = 2});
+  const exec::BspExecutor executor(lower, schedule);
+  auto ctx = executor.createContext();
+  const auto r = static_cast<index_t>(state.range(0));
+  const std::vector<double> b(
+      static_cast<size_t>(lower.rows()) * static_cast<size_t>(r), 1.0);
+  std::vector<double> x(b.size(), 0.0);
+  for (auto _ : state) {
+    executor.solveMultiRhs(b, x, r, *ctx, executor.numThreads(),
+                           core::FoldPolicy::kModulo, storage);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lower.nnz() *
+                          static_cast<int64_t>(r));
+}
+void BM_BspSolveMultiShared(benchmark::State& state) {
+  BM_BspSolveMultiStorage(state, exec::StorageKind::kSharedCsr);
+}
+void BM_BspSolveMultiSlab(benchmark::State& state) {
+  BM_BspSolveMultiStorage(state, exec::StorageKind::kSlab);
+}
+BENCHMARK(BM_BspSolveMultiShared)->Arg(4)->Arg(8);
+BENCHMARK(BM_BspSolveMultiSlab)->Arg(4)->Arg(8);
 
 void BM_GrowLocalSchedule(benchmark::State& state) {
   const auto& d = benchDag();

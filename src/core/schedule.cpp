@@ -151,6 +151,19 @@ double foldedImbalance(std::span<const weight_t> rank_loads,
                    : 1.0;
 }
 
+weight_t foldedMakespanAt(const Schedule& schedule, int target,
+                          FoldPolicy policy,
+                          std::span<const weight_t> vertex_weights) {
+  if (target < 1 || target > schedule.numCores()) {
+    throw std::invalid_argument("foldedMakespanAt: target out of range");
+  }
+  const auto loads = schedule.rankLoads(vertex_weights);
+  const auto map = foldRankMap(schedule.numSupersteps(), schedule.numCores(),
+                               target, policy, loads);
+  return foldedMakespan(loads, schedule.numSupersteps(), schedule.numCores(),
+                        target, map);
+}
+
 std::shared_ptr<const Schedule::Payload> Schedule::emptyPayload() {
   static const std::shared_ptr<const Payload> empty =
       std::make_shared<const Payload>();

@@ -79,6 +79,19 @@ double foldedImbalance(std::span<const weight_t> rank_loads,
                        index_t num_supersteps, int width, int target,
                        std::span<const int> rank_map);
 
+class Schedule;
+
+/// Convenience composition of rankLoads + foldRankMap + foldedMakespan:
+/// the folded compute makespan of `schedule` re-targeted to `target` slots
+/// under `policy` (empty `vertex_weights` = unit weights). This is the
+/// analyze-time cost model the serving engine's SLO cold start queries per
+/// candidate team: makespan ratios between targets predict how a solve's
+/// compute time scales with team size before any latency samples exist.
+/// Throws std::invalid_argument unless 1 <= target <= numCores().
+weight_t foldedMakespanAt(const Schedule& schedule, int target,
+                          FoldPolicy policy,
+                          std::span<const weight_t> vertex_weights = {});
+
 /// An immutable (π, σ, order) triple over a DAG's vertices: coreOf(v) is
 /// the rank executing v, superstepOf(v) the barrier-delimited phase, and
 /// group(s, p) the dependency-respecting execution order of rank p's work

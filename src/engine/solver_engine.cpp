@@ -71,6 +71,60 @@ SolverEngine::SolverEngine(EngineOptions options)
 
 SolverEngine::~SolverEngine() { shutdown(); }
 
+int SolverEngine::seedTeam(const exec::TriangularSolver& solver) {
+  const int base = baseTeam(solver);
+  const int min_team = std::min(options_.elastic_min_team, base);
+  if (min_team >= base) return base;
+
+  // Lease the probe's team from the shared budget like any batch would:
+  // registering a solver while the engine is serving must not
+  // oversubscribe the machine (the never-oversubscribe invariant), and a
+  // throttled grant simply anchors the model at the granted width.
+  CoreBudget::Lease cores(budget_, base, min_team);
+  const int probe_team = cores.granted();
+  // Probe with the storage and policy the engine will actually serve, on
+  // a fresh context (registration must not race the built-in default
+  // context). The untimed warmup pays the one-time costs — fold-plan /
+  // slab build, OpenMP team spinup, cold matrix — so the timed pass
+  // measures the steady-state solve; a cold probe would overshoot and
+  // silently disable the cold start.
+  const core::FoldPolicy policy = solver.options().fold_policy;
+  const exec::StorageKind storage =
+      options_.storage.value_or(solver.options().storage);
+  const auto n = static_cast<std::size_t>(solver.numRows());
+  std::vector<double> b(n, 1.0);
+  std::vector<double> x(n, 0.0);
+  auto ctx = solver.createContext();
+  solver.solve(b, x, *ctx, probe_team, policy, storage);
+  const auto t0 = std::chrono::steady_clock::now();
+  solver.solve(b, x, *ctx, probe_team, policy, storage);
+  const double probe =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Scale the probe to other teams by the schedule's folded compute
+  // makespan ratio — the analyze-time cost model — and keep halving from
+  // the base while the estimate still fits in half the target (headroom
+  // for queueing and batching on top of pure compute). Estimates grow
+  // monotonically as the team shrinks, so stop at the first violation.
+  const auto probe_makespan = static_cast<double>(
+      core::foldedMakespanAt(solver.schedule(), probe_team, policy));
+  if (probe_makespan <= 0.0) return base;
+  const auto estimate = [&](int t) {
+    return probe *
+           static_cast<double>(
+               core::foldedMakespanAt(solver.schedule(), t, policy)) /
+           probe_makespan;
+  };
+  if (estimate(base) > 0.5 * options_.target_p95) return base;
+  int chosen = base;
+  for (int t = base / 2; t >= min_team; t /= 2) {
+    if (estimate(t) > 0.5 * options_.target_p95) break;
+    chosen = t;
+  }
+  return chosen;
+}
+
 SolverId SolverEngine::registerSolver(
     std::shared_ptr<const exec::TriangularSolver> solver) {
   if (!solver) {
@@ -79,6 +133,16 @@ SolverId SolverEngine::registerSolver(
   auto reg = std::make_unique<Registered>();
   reg->contexts = std::make_unique<ContextPool>(*solver);
   reg->solver = std::move(solver);
+  if (options_.elastic && options_.target_p95 > 0.0) {
+    // Cold-start the SLO controller: without this every solver's first
+    // window is served at the base width even when the target is generous
+    // enough for a much narrower (higher-concurrency) team.
+    const int seed = seedTeam(*reg->solver);
+    if (seed > 0 && seed < baseTeam(*reg->solver)) {
+      reg->seeded_team = seed;
+      reg->elastic_team.store(seed, std::memory_order_relaxed);
+    }
+  }
   std::lock_guard<std::mutex> lock(solvers_mu_);
   solvers_.push_back(std::move(reg));
   return static_cast<SolverId>(solvers_.size() - 1);
@@ -278,6 +342,11 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   // cannot overlap any concurrent batch's cores (the leases are disjoint)
   // and its folded ranks keep a stable core for the whole batch.
   const bool pin_batch = pin_enabled_ && !cores.cores().empty();
+  // The engine-wide storage override wins over the solver's own default;
+  // either way the layout is invisible in the results (bitwise contract).
+  const exec::StorageKind storage =
+      options_.storage.value_or(solver.options().storage);
+  const core::FoldPolicy fold_policy = solver.options().fold_policy;
   std::uint64_t pinned_threads = 0;
   std::uint64_t migrated_threads = 0;
 
@@ -296,10 +365,11 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
       total_rhs = request.nrhs;
       std::vector<double> x(request.b.size());
       if (request.nrhs == 1) {
-        solver.solve(request.b, x, lease.context(), team);
+        solver.solve(request.b, x, lease.context(), team, fold_policy,
+                     storage);
       } else {
         solver.solveMultiRhs(request.b, x, request.nrhs, lease.context(),
-                             team);
+                             team, fold_policy, storage);
       }
       results.push_back(std::move(x));
     } else {
@@ -314,7 +384,7 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
       }
       solver.solveMultiRhs(b_packed, x_packed,
                            static_cast<sts::index_t>(k), lease.context(),
-                           team);
+                           team, fold_policy, storage);
       results.resize(k);
       for (std::size_t j = 0; j < k; ++j) {
         auto& x = results[j];
@@ -353,6 +423,7 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   if (pin_batch && !error && pinned_threads > 0) reg.pinned_batches += 1;
   reg.pinned_threads += pinned_threads;
   reg.migrated_threads += migrated_threads;
+  if (!error && storage == exec::StorageKind::kSlab) reg.slab_batches += 1;
   reg.busy_seconds += std::chrono::duration<double>(t1 - t0).count();
   reg.last_complete = t1;
   reg.saw_complete = true;
@@ -398,6 +469,8 @@ SolverServingStats SolverEngine::stats(SolverId id) const {
     out.pinned_batches = reg.pinned_batches;
     out.pinned_threads = reg.pinned_threads;
     out.migrated_threads = reg.migrated_threads;
+    out.slab_batches = reg.slab_batches;
+    out.seeded_team = reg.seeded_team;
     out.busy_seconds = reg.busy_seconds;
     if (reg.batches > 0) {
       out.mean_team_size = static_cast<double>(reg.team_size_accum) /

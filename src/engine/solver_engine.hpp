@@ -135,9 +135,13 @@ class SolverEngine {
     std::unique_ptr<ContextPool> contexts;
 
     /// The SLO controller's current team choice (0 = unset, meaning the
-    /// base width). Written under stats_mu by the batch-completion
-    /// controller step; read lock-free by chooseTeam.
+    /// base width). Cold-started by seedTeam at registration when
+    /// target_p95 is set; thereafter written under stats_mu by the
+    /// batch-completion controller step; read lock-free by chooseTeam.
     std::atomic<int> elastic_team{0};
+    /// seedTeam's cold-start choice, for stats (0 = unseeded). Written
+    /// once before the solver is published; never mutated after.
+    int seeded_team = 0;
 
     mutable std::mutex stats_mu;
     std::uint64_t requests = 0;
@@ -152,6 +156,7 @@ class SolverEngine {
     std::uint64_t pinned_batches = 0;
     std::uint64_t pinned_threads = 0;
     std::uint64_t migrated_threads = 0;
+    std::uint64_t slab_batches = 0;
     std::uint64_t team_size_accum = 0;
     double busy_seconds = 0.0;
     /// Ring buffer of recent request latencies in seconds (quantiles track
@@ -180,6 +185,16 @@ class SolverEngine {
   /// latency window vs. target_p95 decides grow / shrink / hold. Caller
   /// holds reg.stats_mu.
   void updateController(Registered& reg, int base, std::size_t backlog);
+  /// SLO cold start (elastic + target_p95 only): estimate the per-solve
+  /// cost at registration — one warmed probe solve on a budget-leased
+  /// team (never oversubscribing concurrent batches) with the storage and
+  /// policy the engine will serve, scaled to other teams by the
+  /// schedule's folded-makespan ratios (core::foldedMakespanAt) — and
+  /// return the smallest power-of-two step of the controller's lattice
+  /// whose estimate still fits inside half the p95 target (headroom for
+  /// queueing). The first window is then served at a width the target can
+  /// afford instead of always at base.
+  int seedTeam(const exec::TriangularSolver& solver);
   /// Coalescing cap for the next pop: max_batch, raised toward
   /// 2 * max_batch under a deep queue when adaptive_batch is on.
   sts::index_t effectiveBatchCap(std::size_t depth) const;

@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <optional>
 #include <vector>
 
+#include "exec/storage.hpp"
 #include "sparse/types.hpp"
 
 /// \file types.hpp
@@ -21,23 +23,26 @@ using SolverId = std::uint32_t;
 
 /// ## How the adaptive options interact
 ///
-/// `fold_policy` (exec::SolverOptions), `target_p95`, `core_budget`,
-/// `core_set`, and `pin_threads` compose; each owns one decision:
+/// `fold_policy` / `storage` (exec::SolverOptions), `target_p95`,
+/// `core_budget`, `core_set`, and `pin_threads` compose; each owns one
+/// decision:
 ///
 /// | Option                 | Decides                 | Interaction |
 /// |------------------------|-------------------------|-------------|
 /// | `elastic`              | whether team sizes adapt at all | master switch; `team_size` is the base width it adapts from |
-/// | `target_p95`           | HOW the team size is chosen | 0: depth-only rule (deep queue divides base across workers); >0: per-solver SLO controller (grow on p95 violation, shrink under slack + backlog). Requires `elastic`. |
+/// | `target_p95`           | HOW the team size is chosen | 0: depth-only rule (deep queue divides base across workers); >0: per-solver SLO controller (grow on p95 violation, shrink under slack + backlog), cold-started from the analyze-time cost model (`seeded_team`). Requires `elastic`. |
 /// | `core_budget`          | HOW MANY cores all batches may hold in aggregate | the chosen (desired) team is capped by the grant; grants below desire count as `budget_throttled_batches`. 0 = unlimited. |
 /// | `core_set`             | WHICH cores back the budget | non-empty switches CoreBudget to core-set mode: grants are explicit disjoint CPU ids; `core_budget` > 0 additionally truncates the set to its first `core_budget` ids |
 /// | `pin_threads`          | WHERE the granted team executes | pins each team member to one leased id (auto-detects `core_set` from the process mask when empty); placement only — results stay bitwise identical |
 /// | `fold_policy` (solver) | HOW ranks map onto the granted width | kModulo / kBinPack; any width from the rules above executes losslessly |
+/// | `storage` (engine or solver) | WHAT memory layout the hot loop walks | engine `storage` overrides each solver's `SolverOptions::storage` when set; kSlab streams per-(team, policy) thread-local packed records, kSharedCsr walks the analyzed CSR. Layout only — results stay bitwise identical |
 ///
 /// Pipeline per batch: elastic policy picks a DESIRED width → CoreBudget
 /// grants an actual width (and, in core-set mode, which cores) →
-/// `fold_policy` folds the schedule onto that width → `pin_threads` nails
-/// each team member to its leased core. Every stage is bitwise-lossless,
-/// so all five options can be toggled freely in production.
+/// `fold_policy` folds the schedule onto that width → `storage` picks the
+/// matrix layout the folded plan walks → `pin_threads` nails each team
+/// member to its leased core. Every stage is bitwise-lossless, so all the
+/// options can be toggled freely in production.
 struct EngineOptions {
   /// Persistent dispatcher threads executing batches. Each concurrent
   /// batch additionally spins up the solver's own OpenMP team, so the
@@ -105,6 +110,13 @@ struct EngineOptions {
   /// portable fallback. Placement only: results are bitwise identical to
   /// unpinned solves. Pin outcomes are reported in SolverServingStats.
   bool pin_threads = false;
+  /// Matrix layout override for every batch the engine executes: unset
+  /// (default) uses each solver's own SolverOptions::storage; kSlab forces
+  /// the thread-local packed-record walk (exec/storage.hpp), kSharedCsr
+  /// forces the shared-CSR walk. Purely a layout choice — batch results
+  /// are bitwise identical either way; batches served from slabs are
+  /// counted in SolverServingStats::slab_batches.
+  std::optional<sts::exec::StorageKind> storage;
   /// Couple the coalescing budget to the elastic policy: while the queue
   /// is deep (teams shrink) the effective batch cap rises toward
   /// 2 * max_batch — deeper amortization exactly when backlog can feed
@@ -155,6 +167,15 @@ struct SolverServingStats {
   /// the pin was taken — OS migrations the pin corrected (the locality
   /// leak of unpinned elastic serving, made visible).
   std::uint64_t migrated_threads = 0;
+  /// Batches executed on the slab (thread-local packed) storage layout —
+  /// EngineOptions::storage override or the solver's own default.
+  std::uint64_t slab_batches = 0;
+  /// The SLO controller's cold-start team: seeded at registerSolver time
+  /// from the analyze-time cost model (a probe solve scaled by folded
+  /// makespan ratios) so the first window is not blindly served at the
+  /// base width when the target leaves room to shrink. 0 = unseeded (no
+  /// SLO target, or the model kept the base width).
+  int seeded_team = 0;
   double latency_p50_seconds = 0.0;  ///< request submit -> completion
   double latency_p95_seconds = 0.0;
   /// rhs_solved / (last completion - first submission); 0 until the first

@@ -14,6 +14,35 @@ using detail::computeRow;
 using detail::computeRowMulti;
 using detail::requireVectorSizes;
 
+namespace {
+
+/// The one OpenMP region shape shared by every barrier-synchronous slab
+/// walk (BspExecutor and ContiguousBspExecutor, single- and multi-RHS):
+/// pin + note, then stream the thread's slab with a barrier after every
+/// superstep. The per-record kernel is the only degree of freedom, so the
+/// hot region cannot diverge between executors (the row_kernels.hpp
+/// single-definition argument, applied to the region).
+template <typename NotePinFn, typename KernelFn>
+void slabSuperstepRegion(const detail::SlabPlan& plan, index_t steps,
+                         int team, std::span<const int> pin_set,
+                         SpinBarrier& barrier, NotePinFn&& note_pin,
+                         KernelFn&& kernel) {
+  const bool sync = team > 1;
+  omp_set_dynamic(0);
+#pragma omp parallel num_threads(team)
+  {
+    const auto t = static_cast<size_t>(omp_get_thread_num());
+    const ScopedPin pin(pin_set, static_cast<int>(t));
+    note_pin(pin);
+    int sense = barrier.initialSense();
+    detail::forEachSlabRecord(plan.threads[t], steps, kernel, [&] {
+      if (sync) barrier.wait(sense, team);
+    });
+  }
+}
+
+}  // namespace
+
 BspExecutor::BspExecutor(const CsrMatrix& lower, const Schedule& schedule)
     : lower_(lower),
       num_threads_(schedule.numCores()),
@@ -38,6 +67,7 @@ BspExecutor::BspExecutor(const CsrMatrix& lower, const Schedule& schedule)
   rank_loads_ = detail::threadListLoads(full_.verts, full_.step_ptr,
                                         num_supersteps_, lower.rowPtr());
   folded_.init(num_threads_, &full_);
+  slabs_.init(num_threads_);
 }
 
 const detail::FoldedLists& BspExecutor::foldedPlan(
@@ -48,6 +78,45 @@ const detail::FoldedLists& BspExecutor::foldedPlan(
     return detail::foldThreadLists(full_.verts, full_.step_ptr,
                                    num_supersteps_, t, map);
   });
+}
+
+const detail::SlabPlan& BspExecutor::slabPlan(int team,
+                                              core::FoldPolicy policy) const {
+  if (team == num_threads_) {
+    // The full-width plan is policy-invariant; build one slab and share
+    // it across the policy slots instead of packing the matrix twice.
+    return slabs_.getPolicyShared(team, [this](int) {
+      return detail::buildSlabPlan(lower_, full_);
+    });
+  }
+  return slabs_.get(team, policy, [this](int t, core::FoldPolicy p) {
+    return detail::buildSlabPlan(lower_, foldedPlan(t, p));
+  });
+}
+
+void BspExecutor::solve(std::span<const double> b, std::span<double> x,
+                        SolveContext& ctx, int team, core::FoldPolicy policy,
+                        StorageKind storage) const {
+  if (storage == StorageKind::kSlab) {
+    solveSlab(b, x, ctx, team, policy);
+    return;
+  }
+  solve(b, x, ctx, team, policy);
+}
+
+void BspExecutor::solveSlab(std::span<const double> b, std::span<double> x,
+                            SolveContext& ctx, int team,
+                            core::FoldPolicy policy) const {
+  requireVectorSizes(lower_, b, x, 1, "BspExecutor::solve");
+  detail::requireTeamSize(team, num_threads_, "BspExecutor::solve");
+  ctx.requireShape(team, lower_.rows(), "BspExecutor::solve");
+  slabSuperstepRegion(
+      slabPlan(team, policy), num_supersteps_, team, ctx.pinnedCores(),
+      ctx.barrier_, [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
+      [&](const detail::SlabRecordView& rec) {
+        detail::computeRowPacked(rec.cols, rec.vals, rec.nnz, rec.diag, b, x,
+                                 rec.row);
+      });
 }
 
 void BspExecutor::solve(std::span<const double> b, std::span<double> x,
@@ -97,6 +166,35 @@ void BspExecutor::solve(std::span<const double> b, std::span<double> x,
 
 void BspExecutor::solve(std::span<const double> b, std::span<double> x) const {
   solve(b, x, default_ctx_, num_threads_, core::FoldPolicy::kModulo);
+}
+
+void BspExecutor::solveMultiRhs(std::span<const double> b,
+                                std::span<double> x, index_t nrhs,
+                                SolveContext& ctx, int team,
+                                core::FoldPolicy policy,
+                                StorageKind storage) const {
+  if (storage == StorageKind::kSlab) {
+    solveMultiRhsSlab(b, x, nrhs, ctx, team, policy);
+    return;
+  }
+  solveMultiRhs(b, x, nrhs, ctx, team, policy);
+}
+
+void BspExecutor::solveMultiRhsSlab(std::span<const double> b,
+                                    std::span<double> x, index_t nrhs,
+                                    SolveContext& ctx, int team,
+                                    core::FoldPolicy policy) const {
+  requireVectorSizes(lower_, b, x, nrhs, "BspExecutor::solveMultiRhs");
+  detail::requireTeamSize(team, num_threads_, "BspExecutor::solveMultiRhs");
+  ctx.requireShape(team, lower_.rows(), "BspExecutor::solveMultiRhs");
+  const auto r = static_cast<size_t>(nrhs);
+  slabSuperstepRegion(
+      slabPlan(team, policy), num_supersteps_, team, ctx.pinnedCores(),
+      ctx.barrier_, [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
+      [&](const detail::SlabRecordView& rec) {
+        detail::computeRowMultiPacked(rec.cols, rec.vals, rec.nnz, rec.diag,
+                                      b, x, rec.row, r);
+      });
 }
 
 void BspExecutor::solveMultiRhs(std::span<const double> b,
@@ -180,6 +278,50 @@ ContiguousBspExecutor::ContiguousBspExecutor(const CsrMatrix& permuted_lower,
     rank_loads_[g] = static_cast<core::weight_t>(row_ptr[hi] - row_ptr[lo]);
   }
   folded_.init(num_threads_);
+  slabs_.init(num_threads_);
+}
+
+const detail::SlabPlan& ContiguousBspExecutor::slabPlan(
+    int team, core::FoldPolicy policy) const {
+  // Materialize the row ranges as explicit per-thread row lists (the
+  // shape buildSlabPlan packs); the slab keeps the exact range walk
+  // order, so results stay bitwise identical to the range path.
+  const auto build = [this](int t, const FoldedRanges* plan) {
+    detail::FoldedLists lists;
+    lists.verts.resize(static_cast<size_t>(t));
+    lists.step_ptr.resize(static_cast<size_t>(t));
+    for (int q = 0; q < t; ++q) {
+      auto& verts = lists.verts[static_cast<size_t>(q)];
+      auto& ptr = lists.step_ptr[static_cast<size_t>(q)];
+      ptr.push_back(0);
+      for (index_t s = 0; s < num_supersteps_; ++s) {
+        const size_t g = static_cast<size_t>(s) * static_cast<size_t>(t) +
+                         static_cast<size_t>(q);
+        if (plan == nullptr) {
+          const auto lo = static_cast<index_t>(group_ptr_[g]);
+          const auto hi = static_cast<index_t>(group_ptr_[g + 1]);
+          for (index_t i = lo; i < hi; ++i) verts.push_back(i);
+        } else {
+          const auto begin = static_cast<size_t>(plan->range_ptr[g]);
+          const auto end = static_cast<size_t>(plan->range_ptr[g + 1]);
+          for (size_t k = begin; k < end; ++k) {
+            const auto [lo, hi] = plan->ranges[k];
+            for (index_t i = lo; i < hi; ++i) verts.push_back(i);
+          }
+        }
+        ptr.push_back(static_cast<offset_t>(verts.size()));
+      }
+    }
+    return detail::buildSlabPlan(lower_, lists);
+  };
+  if (team == num_threads_) {
+    // Policy-invariant at full width: one slab shared across policies.
+    return slabs_.getPolicyShared(
+        team, [&](int t) { return build(t, nullptr); });
+  }
+  return slabs_.get(team, policy, [&](int t, core::FoldPolicy pol) {
+    return build(t, &foldedPlan(t, pol));
+  });
 }
 
 const ContiguousBspExecutor::FoldedRanges&
@@ -221,6 +363,33 @@ ContiguousBspExecutor::foldedPlan(int team, core::FoldPolicy policy) const {
     }
     return plan;
   });
+}
+
+void ContiguousBspExecutor::solve(std::span<const double> b,
+                                  std::span<double> x, SolveContext& ctx,
+                                  int team, core::FoldPolicy policy,
+                                  StorageKind storage) const {
+  if (storage == StorageKind::kSlab) {
+    solveSlab(b, x, ctx, team, policy);
+    return;
+  }
+  solve(b, x, ctx, team, policy);
+}
+
+void ContiguousBspExecutor::solveSlab(std::span<const double> b,
+                                      std::span<double> x, SolveContext& ctx,
+                                      int team,
+                                      core::FoldPolicy policy) const {
+  requireVectorSizes(lower_, b, x, 1, "ContiguousBspExecutor::solve");
+  detail::requireTeamSize(team, num_threads_, "ContiguousBspExecutor::solve");
+  ctx.requireShape(team, lower_.rows(), "ContiguousBspExecutor::solve");
+  slabSuperstepRegion(
+      slabPlan(team, policy), num_supersteps_, team, ctx.pinnedCores(),
+      ctx.barrier_, [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
+      [&](const detail::SlabRecordView& rec) {
+        detail::computeRowPacked(rec.cols, rec.vals, rec.nnz, rec.diag, b, x,
+                                 rec.row);
+      });
 }
 
 void ContiguousBspExecutor::solve(std::span<const double> b,
@@ -298,6 +467,39 @@ void ContiguousBspExecutor::solve(std::span<const double> b,
 void ContiguousBspExecutor::solve(std::span<const double> b,
                                   std::span<double> x) const {
   solve(b, x, default_ctx_, num_threads_, core::FoldPolicy::kModulo);
+}
+
+void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
+                                          std::span<double> x, index_t nrhs,
+                                          SolveContext& ctx, int team,
+                                          core::FoldPolicy policy,
+                                          StorageKind storage) const {
+  if (storage == StorageKind::kSlab) {
+    solveMultiRhsSlab(b, x, nrhs, ctx, team, policy);
+    return;
+  }
+  solveMultiRhs(b, x, nrhs, ctx, team, policy);
+}
+
+void ContiguousBspExecutor::solveMultiRhsSlab(std::span<const double> b,
+                                              std::span<double> x,
+                                              index_t nrhs, SolveContext& ctx,
+                                              int team,
+                                              core::FoldPolicy policy) const {
+  requireVectorSizes(lower_, b, x, nrhs,
+                     "ContiguousBspExecutor::solveMultiRhs");
+  detail::requireTeamSize(team, num_threads_,
+                          "ContiguousBspExecutor::solveMultiRhs");
+  ctx.requireShape(team, lower_.rows(),
+                   "ContiguousBspExecutor::solveMultiRhs");
+  const auto r = static_cast<size_t>(nrhs);
+  slabSuperstepRegion(
+      slabPlan(team, policy), num_supersteps_, team, ctx.pinnedCores(),
+      ctx.barrier_, [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
+      [&](const detail::SlabRecordView& rec) {
+        detail::computeRowMultiPacked(rec.cols, rec.vals, rec.nnz, rec.diag,
+                                      b, x, rec.row, r);
+      });
 }
 
 void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,

@@ -6,7 +6,9 @@
 
 #include "core/schedule.hpp"
 #include "exec/elastic.hpp"
+#include "exec/slab.hpp"
 #include "exec/solve_context.hpp"
+#include "exec/storage.hpp"
 #include "sparse/csr.hpp"
 
 /// \file bsp.hpp
@@ -29,6 +31,12 @@
 /// are bitwise equal to the full-width solve under every policy. Folded
 /// plans are cached per (team size, policy) — construction cost is paid
 /// once, concurrent solves at mixed team sizes and policies are safe.
+///
+/// Storage: the most-explicit overloads additionally take a StorageKind.
+/// kSharedCsr walks the shared matrix through row_ptr/col_idx; kSlab
+/// streams per-thread packed row records (slab.hpp) built lazily per
+/// (team, policy) and cached beside the folded lists. Both layouts run
+/// the identical arithmetic, so storage never changes results.
 
 namespace sts::exec {
 
@@ -46,9 +54,13 @@ class BspExecutor {
   BspExecutor(const CsrMatrix& lower, const Schedule& schedule);
 
   /// x = L^{-1} b on a `team`-thread OpenMP team (the schedule folded to
-  /// `team` ranks under `policy`); `ctx` carries the superstep barrier.
-  /// Concurrent solves need distinct contexts. Throws
-  /// std::invalid_argument unless 1 <= team <= numThreads().
+  /// `team` ranks under `policy`, walking the matrix through `storage`);
+  /// `ctx` carries the superstep barrier. Concurrent solves need distinct
+  /// contexts. Throws std::invalid_argument unless
+  /// 1 <= team <= numThreads().
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx, int team, core::FoldPolicy policy,
+             StorageKind storage) const;
   void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx, int team, core::FoldPolicy policy) const;
   void solve(std::span<const double> b, std::span<double> x,
@@ -62,6 +74,9 @@ class BspExecutor {
   /// SpTRSM: X = L^{-1} B, both n x nrhs row-major. The schedule is
   /// RHS-count agnostic — each vertex simply carries nrhs times the work,
   /// so the barrier cost is amortized across the nrhs solves.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx, int team,
+                     core::FoldPolicy policy, StorageKind storage) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs, SolveContext& ctx, int team,
                      core::FoldPolicy policy) const;
@@ -85,6 +100,14 @@ class BspExecutor {
   /// numThreads() shares the unfolded `full_` lists across policies.
   const detail::FoldedLists& foldedPlan(int team,
                                         core::FoldPolicy policy) const;
+  /// The packed per-thread slab storage for (team, policy), built lazily
+  /// from the folded lists and cached beside them.
+  const detail::SlabPlan& slabPlan(int team, core::FoldPolicy policy) const;
+  void solveSlab(std::span<const double> b, std::span<double> x,
+                 SolveContext& ctx, int team, core::FoldPolicy policy) const;
+  void solveMultiRhsSlab(std::span<const double> b, std::span<double> x,
+                         index_t nrhs, SolveContext& ctx, int team,
+                         core::FoldPolicy policy) const;
 
   const CsrMatrix& lower_;
   int num_threads_ = 0;
@@ -96,6 +119,7 @@ class BspExecutor {
   /// the kBinPack rank maps.
   std::vector<core::weight_t> rank_loads_;
   detail::TeamPlanCache<detail::FoldedLists> folded_;
+  detail::TeamPlanCache<detail::SlabPlan> slabs_;
   /// Backs the context-free overloads; mutable per-solve state only.
   mutable SolveContext default_ctx_;
 };
@@ -111,8 +135,13 @@ class ContiguousBspExecutor {
                         std::vector<offset_t> group_ptr);
 
   /// Folded team solve: thread q executes the row ranges of every original
-  /// rank the policy's rank map assigns to q, per superstep.
-  /// 1 <= team <= numThreads().
+  /// rank the policy's rank map assigns to q, per superstep. The kSlab
+  /// storage walk replaces the range walk by the same rows as packed
+  /// records (identical order, identical results). 1 <= team <=
+  /// numThreads().
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx, int team, core::FoldPolicy policy,
+             StorageKind storage) const;
   void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx, int team, core::FoldPolicy policy) const;
   void solve(std::span<const double> b, std::span<double> x,
@@ -123,6 +152,9 @@ class ContiguousBspExecutor {
 
   /// SpTRSM over the contiguous row ranges: X = L^{-1} B, n x nrhs
   /// row-major, one barrier per superstep regardless of nrhs.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx, int team,
+                     core::FoldPolicy policy, StorageKind storage) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs, SolveContext& ctx, int team,
                      core::FoldPolicy policy) const;
@@ -153,6 +185,14 @@ class ContiguousBspExecutor {
     std::vector<std::pair<index_t, index_t>> ranges;  ///< [lo, hi) rows
   };
   const FoldedRanges& foldedPlan(int team, core::FoldPolicy policy) const;
+  /// Slab storage for (team, policy): the row ranges materialized as
+  /// per-thread packed record streams (identical row order).
+  const detail::SlabPlan& slabPlan(int team, core::FoldPolicy policy) const;
+  void solveSlab(std::span<const double> b, std::span<double> x,
+                 SolveContext& ctx, int team, core::FoldPolicy policy) const;
+  void solveMultiRhsSlab(std::span<const double> b, std::span<double> x,
+                         index_t nrhs, SolveContext& ctx, int team,
+                         core::FoldPolicy policy) const;
 
   const CsrMatrix& lower_;
   index_t num_supersteps_ = 0;
@@ -162,6 +202,7 @@ class ContiguousBspExecutor {
   /// feeds the kBinPack rank maps.
   std::vector<core::weight_t> rank_loads_;
   detail::TeamPlanCache<FoldedRanges> folded_;
+  detail::TeamPlanCache<detail::SlabPlan> slabs_;
   mutable SolveContext default_ctx_;
 };
 

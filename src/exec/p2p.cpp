@@ -11,6 +11,46 @@
 
 namespace sts::exec {
 
+namespace {
+
+/// The one OpenMP region shape shared by both P2P slab walks (single- and
+/// multi-RHS): pin + note, then stream the thread's slab, spin-waiting on
+/// each record's cross-thread parents before computing and stamping its
+/// completion flag. Only the per-record compute differs between callers.
+template <typename NotePinFn, typename ComputeFn>
+void slabP2pRegion(const detail::SlabPlan& plan, index_t steps, int team,
+                   std::span<const int> pin_set,
+                   std::span<const offset_t> wait_ptr,
+                   std::span<const index_t> wait_adj,
+                   std::atomic<std::uint32_t>* done, std::uint32_t epoch,
+                   NotePinFn&& note_pin, ComputeFn&& compute) {
+  omp_set_dynamic(0);
+#pragma omp parallel num_threads(team)
+  {
+    const auto t = static_cast<size_t>(omp_get_thread_num());
+    const ScopedPin pin(pin_set, static_cast<int>(t));
+    note_pin(pin);
+    detail::forEachSlabRecord(
+        plan.threads[t], steps,
+        [&](const detail::SlabRecordView& rec) {
+          const auto i = rec.row;
+          for (offset_t w = wait_ptr[static_cast<size_t>(i)];
+               w < wait_ptr[static_cast<size_t>(i) + 1]; ++w) {
+            const auto u =
+                static_cast<size_t>(wait_adj[static_cast<size_t>(w)]);
+            while (done[u].load(std::memory_order_acquire) != epoch) {
+            }
+          }
+          compute(rec);
+          done[static_cast<size_t>(i)].store(epoch,
+                                             std::memory_order_release);
+        },
+        [] {});
+  }
+}
+
+}  // namespace
+
 P2pExecutor::P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
                          const Dag& sync_dag)
     : lower_(lower),
@@ -38,6 +78,7 @@ P2pExecutor::P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
   rank_loads_ = detail::threadListLoads(full_.verts, full_.step_ptr,
                                         num_supersteps_, lower.rowPtr());
   folded_.init(num_threads_, &full_);
+  slabs_.init(num_threads_);
 
   // Cross-thread parents in the sync DAG, flattened per vertex.
   wait_ptr_.assign(static_cast<size_t>(n) + 1, 0);
@@ -71,6 +112,46 @@ const detail::FoldedLists& P2pExecutor::foldedPlan(
     return detail::foldThreadLists(full_.verts, full_.step_ptr,
                                    num_supersteps_, t, map);
   });
+}
+
+const detail::SlabPlan& P2pExecutor::slabPlan(int team,
+                                              core::FoldPolicy policy) const {
+  if (team == num_threads_) {
+    // Policy-invariant at full width: one slab shared across policies.
+    return slabs_.getPolicyShared(team, [this](int) {
+      return detail::buildSlabPlan(lower_, full_);
+    });
+  }
+  return slabs_.get(team, policy, [this](int t, core::FoldPolicy p) {
+    return detail::buildSlabPlan(lower_, foldedPlan(t, p));
+  });
+}
+
+void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
+                        SolveContext& ctx, int team, core::FoldPolicy policy,
+                        StorageKind storage) const {
+  if (storage == StorageKind::kSlab) {
+    solveSlab(b, x, ctx, team, policy);
+    return;
+  }
+  solve(b, x, ctx, team, policy);
+}
+
+void P2pExecutor::solveSlab(std::span<const double> b, std::span<double> x,
+                            SolveContext& ctx, int team,
+                            core::FoldPolicy policy) const {
+  detail::requireVectorSizes(lower_, b, x, 1, "P2pExecutor::solve");
+  detail::requireTeamSize(team, num_threads_, "P2pExecutor::solve");
+  ctx.requireShape(team, lower_.rows(), "P2pExecutor::solve");
+  const std::uint32_t epoch = ctx.beginP2pEpoch();
+  slabP2pRegion(
+      slabPlan(team, policy), num_supersteps_, team, ctx.pinnedCores(),
+      wait_ptr_, wait_adj_, ctx.done_.get(), epoch,
+      [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
+      [&](const detail::SlabRecordView& rec) {
+        detail::computeRowPacked(rec.cols, rec.vals, rec.nnz, rec.diag, b, x,
+                                 rec.row);
+      });
 }
 
 void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
@@ -125,6 +206,37 @@ void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
 
 void P2pExecutor::solve(std::span<const double> b, std::span<double> x) const {
   solve(b, x, default_ctx_, num_threads_);
+}
+
+void P2pExecutor::solveMultiRhs(std::span<const double> b,
+                                std::span<double> x, index_t nrhs,
+                                SolveContext& ctx, int team,
+                                core::FoldPolicy policy,
+                                StorageKind storage) const {
+  if (storage == StorageKind::kSlab) {
+    solveMultiRhsSlab(b, x, nrhs, ctx, team, policy);
+    return;
+  }
+  solveMultiRhs(b, x, nrhs, ctx, team, policy);
+}
+
+void P2pExecutor::solveMultiRhsSlab(std::span<const double> b,
+                                    std::span<double> x, index_t nrhs,
+                                    SolveContext& ctx, int team,
+                                    core::FoldPolicy policy) const {
+  detail::requireVectorSizes(lower_, b, x, nrhs, "P2pExecutor::solveMultiRhs");
+  detail::requireTeamSize(team, num_threads_, "P2pExecutor::solveMultiRhs");
+  ctx.requireShape(team, lower_.rows(), "P2pExecutor::solveMultiRhs");
+  const auto r = static_cast<size_t>(nrhs);
+  const std::uint32_t epoch = ctx.beginP2pEpoch();
+  slabP2pRegion(
+      slabPlan(team, policy), num_supersteps_, team, ctx.pinnedCores(),
+      wait_ptr_, wait_adj_, ctx.done_.get(), epoch,
+      [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
+      [&](const detail::SlabRecordView& rec) {
+        detail::computeRowMultiPacked(rec.cols, rec.vals, rec.nnz, rec.diag,
+                                      b, x, rec.row, r);
+      });
 }
 
 void P2pExecutor::solveMultiRhs(std::span<const double> b,

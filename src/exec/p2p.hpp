@@ -7,7 +7,9 @@
 #include "core/schedule.hpp"
 #include "dag/dag.hpp"
 #include "exec/elastic.hpp"
+#include "exec/slab.hpp"
 #include "exec/solve_context.hpp"
+#include "exec/storage.hpp"
 #include "sparse/csr.hpp"
 
 /// \file p2p.hpp
@@ -52,8 +54,13 @@ class P2pExecutor {
               const Dag& sync_dag);
 
   /// x = L^{-1} b on a `team`-thread folded execution; `ctx` carries the
-  /// epoch-stamped completion flags. Concurrent solves need distinct
-  /// contexts. 1 <= team <= numThreads().
+  /// epoch-stamped completion flags. `storage` selects the matrix walk:
+  /// kSlab streams each thread's packed records (the wait lists stay
+  /// keyed by the vertex id each record carries). Concurrent solves need
+  /// distinct contexts. 1 <= team <= numThreads().
+  void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx, int team, core::FoldPolicy policy,
+             StorageKind storage) const;
   void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx, int team, core::FoldPolicy policy) const;
   void solve(std::span<const double> b, std::span<double> x,
@@ -64,6 +71,9 @@ class P2pExecutor {
 
   /// SpTRSM: X = L^{-1} B, both n x nrhs row-major; one completion-flag
   /// store per vertex regardless of nrhs.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx, int team,
+                     core::FoldPolicy policy, StorageKind storage) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs, SolveContext& ctx, int team,
                      core::FoldPolicy policy) const;
@@ -87,6 +97,14 @@ class P2pExecutor {
  private:
   const detail::FoldedLists& foldedPlan(int team,
                                         core::FoldPolicy policy) const;
+  /// Packed per-thread slab storage for (team, policy), cached beside the
+  /// folded vertex lists.
+  const detail::SlabPlan& slabPlan(int team, core::FoldPolicy policy) const;
+  void solveSlab(std::span<const double> b, std::span<double> x,
+                 SolveContext& ctx, int team, core::FoldPolicy policy) const;
+  void solveMultiRhsSlab(std::span<const double> b, std::span<double> x,
+                         index_t nrhs, SolveContext& ctx, int team,
+                         core::FoldPolicy policy) const;
 
   const CsrMatrix& lower_;
   int num_threads_ = 0;
@@ -104,6 +122,7 @@ class P2pExecutor {
   std::vector<offset_t> wait_ptr_;
   std::vector<index_t> wait_adj_;
   detail::TeamPlanCache<detail::FoldedLists> folded_;
+  detail::TeamPlanCache<detail::SlabPlan> slabs_;
 
   mutable SolveContext default_ctx_;
 };

@@ -13,6 +13,19 @@
 /// single-RHS solves, parallel == serial per row) holds because all
 /// executors run literally this arithmetic sequence — a divergent copy
 /// would break it silently.
+///
+/// Two kernel families share that sequence:
+///   * computeRow / computeRowMulti — the CSR forms, indexing the shared
+///     matrix through row_ptr (the StorageKind::kSharedCsr walk);
+///   * computeRowPacked / computeRowMultiPacked — raw-pointer forms over a
+///     row's packed off-diagonal cols/vals + diagonal (the
+///     StorageKind::kSlab walk; see slab.hpp). The multi-RHS form is
+///     VECTORIZED ACROSS RHS COLUMNS in fixed-width register blocks
+///     (r = 8, then 4, then a variable tail). Blocking the column loop
+///     never reorders any single column's floating-point operations —
+///     column c still runs init, the same subtractions in the same order,
+///     then one divide — so the bitwise contract survives vectorization
+///     (tests/test_slab.cpp pins packed == CSR for every executor).
 
 namespace sts::exec::detail {
 
@@ -51,6 +64,77 @@ inline void computeRowMulti(std::span<const offset_t> row_ptr,
   }
   const double d = values[diag];
   for (size_t c = 0; c < r; ++c) xi[c] /= d;
+}
+
+/// Packed-row form of computeRow: `cols`/`vals` are the row's nnz
+/// off-diagonal entries in CSR order, `diag` its diagonal. The identical
+/// arithmetic sequence, so x[i] is bitwise equal to computeRow's.
+inline void computeRowPacked(const index_t* cols, const double* vals,
+                             std::size_t nnz, double diag,
+                             std::span<const double> b, std::span<double> x,
+                             index_t i) {
+  double acc = b[static_cast<size_t>(i)];
+  for (std::size_t k = 0; k < nnz; ++k) {
+    acc -= vals[k] * x[static_cast<size_t>(cols[k])];
+  }
+  x[static_cast<size_t>(i)] = acc / diag;
+}
+
+/// One fixed-width column block of the packed multi-RHS step: columns
+/// [c0, c0 + R) of row i, where `bi`/`xi` already point at column c0 of
+/// rows i of B/X and `x_blk` at column c0 of X's row 0 (leading dimension
+/// r). The accumulators live in registers and the column loops are
+/// SIMD-width R, which is the entire point of blocking; per column the
+/// operation sequence matches computeRowMulti exactly.
+template <std::size_t R>
+inline void computeRowMultiPackedFixed(const index_t* cols,
+                                       const double* vals, std::size_t nnz,
+                                       double diag, const double* bi,
+                                       double* xi, const double* x_blk,
+                                       std::size_t r) {
+  double acc[R];
+#pragma omp simd
+  for (std::size_t c = 0; c < R; ++c) acc[c] = bi[c];
+  for (std::size_t e = 0; e < nnz; ++e) {
+    const double a = vals[e];
+    const double* xj = x_blk + static_cast<std::size_t>(cols[e]) * r;
+#pragma omp simd
+    for (std::size_t c = 0; c < R; ++c) acc[c] -= a * xj[c];
+  }
+#pragma omp simd
+  for (std::size_t c = 0; c < R; ++c) xi[c] = acc[c] / diag;
+}
+
+/// Packed multi-RHS substitution step, vectorized across the RHS columns:
+/// register blocks of 8, then 4, then a variable tail running the
+/// computeRowMulti loop shape on the remaining columns. Column c of the
+/// result is bitwise equal to computeRowMulti's column c for every r.
+inline void computeRowMultiPacked(const index_t* cols, const double* vals,
+                                  std::size_t nnz, double diag,
+                                  std::span<const double> b,
+                                  std::span<double> x, index_t i,
+                                  std::size_t r) {
+  const double* bi = b.data() + static_cast<std::size_t>(i) * r;
+  double* xi = x.data() + static_cast<std::size_t>(i) * r;
+  std::size_t c = 0;
+  for (; c + 8 <= r; c += 8) {
+    computeRowMultiPackedFixed<8>(cols, vals, nnz, diag, bi + c, xi + c,
+                                  x.data() + c, r);
+  }
+  for (; c + 4 <= r; c += 4) {
+    computeRowMultiPackedFixed<4>(cols, vals, nnz, diag, bi + c, xi + c,
+                                  x.data() + c, r);
+  }
+  if (c == r) return;
+  // Variable tail (r mod 4 columns): computeRowMulti's exact loop,
+  // restricted to columns [c, r).
+  for (std::size_t cc = c; cc < r; ++cc) xi[cc] = bi[cc];
+  for (std::size_t e = 0; e < nnz; ++e) {
+    const double a = vals[e];
+    const double* xj = x.data() + static_cast<std::size_t>(cols[e]) * r;
+    for (std::size_t cc = c; cc < r; ++cc) xi[cc] -= a * xj[cc];
+  }
+  for (std::size_t cc = c; cc < r; ++cc) xi[cc] /= diag;
 }
 
 inline void requireVectorSizes(const sparse::CsrMatrix& lower,

@@ -1,0 +1,70 @@
+#include "exec/slab.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace sts::exec::detail {
+
+AlignedBytes::AlignedBytes(std::size_t bytes) : size_(bytes) {
+  // Manual over-allocation + align keeps the buffer portable (no
+  // aligned-new / aligned_alloc availability games) and the aligned base
+  // stable across moves.
+  raw_ = std::make_unique<std::byte[]>(bytes + kSlabAlignment);
+  void* p = raw_.get();
+  std::size_t space = bytes + kSlabAlignment;
+  base_ = static_cast<std::byte*>(std::align(kSlabAlignment, bytes, p, space));
+}
+
+SlabPlan buildSlabPlan(const sparse::CsrMatrix& lower,
+                       const FoldedLists& lists) {
+  const auto row_ptr = lower.rowPtr();
+  const auto col_idx = lower.colIdx();
+  const auto values = lower.values();
+
+  SlabPlan plan;
+  plan.threads.resize(lists.verts.size());
+  for (std::size_t t = 0; t < lists.verts.size(); ++t) {
+    const auto& verts = lists.verts[t];
+    SlabThread& slab = plan.threads[t];
+    slab.step_ptr = lists.step_ptr[t];
+
+    std::size_t total = 0;
+    for (const sts::index_t v : verts) {
+      const auto nnz = static_cast<std::size_t>(
+          row_ptr[static_cast<std::size_t>(v) + 1] -
+          row_ptr[static_cast<std::size_t>(v)] - 1);
+      total += slabRecordBytes(nnz);
+    }
+    slab.bytes = AlignedBytes(total);
+
+    std::byte* p = slab.bytes.data();
+    for (const sts::index_t v : verts) {
+      const auto begin =
+          static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(v)]);
+      const auto diag =
+          static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(v) + 1]) -
+          1;
+      const auto nnz = diag - begin;
+      const SlabRecordHeader header{static_cast<std::uint32_t>(v),
+                                    static_cast<std::uint32_t>(nnz)};
+      std::memcpy(p, &header, sizeof header);
+      std::memcpy(p + sizeof header, &values[diag], sizeof(double));
+      std::byte* cols = p + sizeof header + sizeof(double);
+      const std::size_t cols_bytes = nnz * sizeof(sts::index_t);
+      if (nnz > 0) std::memcpy(cols, &col_idx[begin], cols_bytes);
+      // Zero the alignment pad so slabs are deterministic bytes (memcmp-
+      // comparable) and never carry uninitialized memory.
+      if (slabColsBytes(nnz) > cols_bytes) {
+        std::memset(cols + cols_bytes, 0, slabColsBytes(nnz) - cols_bytes);
+      }
+      if (nnz > 0) {
+        std::memcpy(cols + slabColsBytes(nnz), &values[begin],
+                    nnz * sizeof(double));
+      }
+      p += slabRecordBytes(nnz);
+    }
+  }
+  return plan;
+}
+
+}  // namespace sts::exec::detail

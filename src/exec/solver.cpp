@@ -165,13 +165,14 @@ std::unique_ptr<SolveContext> TriangularSolver::createContext() const {
 
 void TriangularSolver::solve(std::span<const double> b, std::span<double> x,
                              SolveContext& ctx, int threads,
-                             core::FoldPolicy policy) const {
+                             core::FoldPolicy policy,
+                             StorageKind storage) const {
   if (static_cast<index_t>(b.size()) != n_ ||
       static_cast<index_t>(x.size()) != n_) {
     throw std::invalid_argument("TriangularSolver::solve: size mismatch");
   }
   if (!permuted_) {
-    solvePermuted(b, x, ctx, threads, policy);
+    solvePermuted(b, x, ctx, threads, policy, storage);
     return;
   }
   const auto n = static_cast<size_t>(n_);
@@ -180,10 +181,16 @@ void TriangularSolver::solve(std::span<const double> b, std::span<double> x,
   for (size_t i = 0; i < n; ++i) {
     b_perm[i] = b[static_cast<size_t>(total_new_to_old_[i])];
   }
-  solvePermuted(b_perm, x_perm, ctx, threads, policy);
+  solvePermuted(b_perm, x_perm, ctx, threads, policy, storage);
   for (size_t i = 0; i < n; ++i) {
     x[static_cast<size_t>(total_new_to_old_[i])] = x_perm[i];
   }
+}
+
+void TriangularSolver::solve(std::span<const double> b, std::span<double> x,
+                             SolveContext& ctx, int threads,
+                             core::FoldPolicy policy) const {
+  solve(b, x, ctx, threads, policy, options_.storage);
 }
 
 void TriangularSolver::solve(std::span<const double> b, std::span<double> x,
@@ -204,7 +211,8 @@ void TriangularSolver::solve(std::span<const double> b,
 void TriangularSolver::solveMultiRhs(std::span<const double> b,
                                      std::span<double> x, index_t nrhs,
                                      SolveContext& ctx, int threads,
-                                     core::FoldPolicy policy) const {
+                                     core::FoldPolicy policy,
+                                     StorageKind storage) const {
   const auto n = static_cast<size_t>(n_);
   if (nrhs <= 0 || b.size() != n * static_cast<size_t>(nrhs) ||
       x.size() != b.size()) {
@@ -226,11 +234,11 @@ void TriangularSolver::solveMultiRhs(std::span<const double> b,
     x_out = x_perm;
   }
   if (contiguous_) {
-    contiguous_->solveMultiRhs(b_in, x_out, nrhs, ctx, team, policy);
+    contiguous_->solveMultiRhs(b_in, x_out, nrhs, ctx, team, policy, storage);
   } else if (p2p_) {
-    p2p_->solveMultiRhs(b_in, x_out, nrhs, ctx, team, policy);
+    p2p_->solveMultiRhs(b_in, x_out, nrhs, ctx, team, policy, storage);
   } else {
-    bsp_->solveMultiRhs(b_in, x_out, nrhs, ctx, team, policy);
+    bsp_->solveMultiRhs(b_in, x_out, nrhs, ctx, team, policy, storage);
   }
   if (permuted_) {
     for (size_t i = 0; i < n; ++i) {
@@ -238,6 +246,13 @@ void TriangularSolver::solveMultiRhs(std::span<const double> b,
       for (size_t c = 0; c < r; ++c) x[old * r + c] = x_out[i * r + c];
     }
   }
+}
+
+void TriangularSolver::solveMultiRhs(std::span<const double> b,
+                                     std::span<double> x, index_t nrhs,
+                                     SolveContext& ctx, int threads,
+                                     core::FoldPolicy policy) const {
+  solveMultiRhs(b, x, nrhs, ctx, threads, policy, options_.storage);
 }
 
 void TriangularSolver::solveMultiRhs(std::span<const double> b,
@@ -260,8 +275,8 @@ void TriangularSolver::solveMultiRhs(std::span<const double> b,
 
 void TriangularSolver::solvePermuted(std::span<const double> b,
                                      std::span<double> x, SolveContext& ctx,
-                                     int threads,
-                                     core::FoldPolicy policy) const {
+                                     int threads, core::FoldPolicy policy,
+                                     StorageKind storage) const {
   if (static_cast<index_t>(b.size()) != n_ ||
       static_cast<index_t>(x.size()) != n_) {
     throw std::invalid_argument(
@@ -269,12 +284,19 @@ void TriangularSolver::solvePermuted(std::span<const double> b,
   }
   const int team = clampTeam(threads);
   if (contiguous_) {
-    contiguous_->solve(b, x, ctx, team, policy);
+    contiguous_->solve(b, x, ctx, team, policy, storage);
   } else if (p2p_) {
-    p2p_->solve(b, x, ctx, team, policy);
+    p2p_->solve(b, x, ctx, team, policy, storage);
   } else {
-    bsp_->solve(b, x, ctx, team, policy);
+    bsp_->solve(b, x, ctx, team, policy, storage);
   }
+}
+
+void TriangularSolver::solvePermuted(std::span<const double> b,
+                                     std::span<double> x, SolveContext& ctx,
+                                     int threads,
+                                     core::FoldPolicy policy) const {
+  solvePermuted(b, x, ctx, threads, policy, options_.storage);
 }
 
 void TriangularSolver::solvePermuted(std::span<const double> b,

@@ -13,6 +13,7 @@
 #include "exec/bsp.hpp"
 #include "exec/p2p.hpp"
 #include "exec/solve_context.hpp"
+#include "exec/storage.hpp"
 #include "sparse/csr.hpp"
 
 /// \file solver.hpp
@@ -54,6 +55,18 @@
 /// machine has no longer yield-spins barrier waiters against absent cores.
 /// Values of `threads` above numThreads() clamp to numThreads(); values
 /// below 1 throw std::invalid_argument.
+///
+/// ## Storage
+///
+/// Independently of team size and fold policy, every explicit solve
+/// overload accepts a StorageKind selecting how the hot loop walks the
+/// matrix: kSharedCsr (the analyzed CSR, row_ptr indirection) or kSlab
+/// (per-thread packed record streams built per (team, policy) and cached
+/// inside the executors — see storage.hpp / slab.hpp).
+/// SolverOptions::storage sets the solver-wide default the overloads
+/// without an explicit kind use. Storage is a pure layout choice: results
+/// are bitwise identical under both kinds for every executor, team,
+/// policy, and RHS count (tests/test_slab.cpp).
 ///
 /// ## Affinity
 ///
@@ -110,6 +123,12 @@ struct SolverOptions {
   /// explicit core::FoldPolicy override it per solve. kModulo keeps PR 2's
   /// p mod t fold; kBinPack packs ranks by per-superstep load.
   core::FoldPolicy fold_policy = core::FoldPolicy::kModulo;
+  /// Default matrix layout of the solve hot path; overloads taking an
+  /// explicit StorageKind override it per solve. kSharedCsr walks the
+  /// analyzed CSR; kSlab streams per-thread packed row records (cached per
+  /// (team, fold policy) like the folded plans — storage.hpp). Bitwise
+  /// identical results either way.
+  StorageKind storage = StorageKind::kSharedCsr;
 };
 
 /// The analyze-once product: an immutable bundle of (normalized matrix,
@@ -137,6 +156,9 @@ class TriangularSolver {
   /// above); overloads without them run at defaultTeam() under
   /// options().fold_policy.
   void solve(std::span<const double> b, std::span<double> x,
+             SolveContext& ctx, int threads, core::FoldPolicy policy,
+             StorageKind storage) const;
+  void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx, int threads, core::FoldPolicy policy) const;
   void solve(std::span<const double> b, std::span<double> x,
              SolveContext& ctx, int threads) const;
@@ -150,6 +172,9 @@ class TriangularSolver {
   /// solves, amortizing every barrier/flag crossing (Table 7.7's
   /// block-parallel idea); column c of X is bitwise equal to solve() on
   /// column c of B.
+  void solveMultiRhs(std::span<const double> b, std::span<double> x,
+                     index_t nrhs, SolveContext& ctx, int threads,
+                     core::FoldPolicy policy, StorageKind storage) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs, SolveContext& ctx, int threads,
                      core::FoldPolicy policy) const;
@@ -167,6 +192,9 @@ class TriangularSolver {
   /// on the permuted problem") — avoid the two O(n) vector permutations
   /// per solve() this way. Identical to solve() when no permutation was
   /// applied.
+  void solvePermuted(std::span<const double> b, std::span<double> x,
+                     SolveContext& ctx, int threads, core::FoldPolicy policy,
+                     StorageKind storage) const;
   void solvePermuted(std::span<const double> b, std::span<double> x,
                      SolveContext& ctx, int threads,
                      core::FoldPolicy policy) const;
