@@ -4,10 +4,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "harness/datasets.hpp"
+#include "obs/trace.hpp"
 
 /// \file bench_common.hpp
 /// Shared banner/format helpers for the per-table bench binaries.
@@ -42,6 +44,38 @@ inline void banner(const std::string& experiment, const std::string& paper_ref,
               "scale=%.2f reps=%d (STS_BENCH_SCALE / STS_BENCH_REPS)\n",
               2, harness::benchScale(), harness::benchReps());
   std::printf("==============================================================\n\n");
+}
+
+/// Starts a solve-path trace session when `STS_TRACE_OUT` names an output
+/// file, and returns it (nullptr otherwise — the zero-cost default). Every
+/// bench/example main() calls this once before the measured work; pair it
+/// with finishTrace() after the last solve. Under -DSTS_TRACING=OFF the
+/// session still starts but records nothing (the instrumentation points
+/// compiled away), so the written JSON is an empty-but-valid trace.
+inline std::shared_ptr<obs::TraceSession> maybeTraceFromEnv() {
+  const char* path = std::getenv("STS_TRACE_OUT");
+  if (path == nullptr || path[0] == '\0') return nullptr;
+  auto session = obs::TraceSession::start();
+  session->nameCurrentThread("main");
+  return session;
+}
+
+/// Stops `session` (no-op on nullptr) and writes the Perfetto/chrome
+/// trace_event JSON to the STS_TRACE_OUT path, reporting span and drop
+/// counts so truncated rings are visible at the console.
+inline void finishTrace(const std::shared_ptr<obs::TraceSession>& session) {
+  if (session == nullptr) return;
+  session->stop();
+  const char* path = std::getenv("STS_TRACE_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  if (!session->writeJson(path)) {
+    std::fprintf(stderr, "trace: failed to write %s\n", path);
+    return;
+  }
+  std::printf("trace: wrote %s (%llu events, %zu threads, %llu dropped)\n",
+              path, static_cast<unsigned long long>(session->totalEvents()),
+              session->numThreads(),
+              static_cast<unsigned long long>(session->droppedEvents()));
 }
 
 inline void datasetSummary(const std::string& name,

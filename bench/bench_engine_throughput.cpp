@@ -42,11 +42,14 @@ int main() {
               "1 engine worker\n\n",
               requests, static_cast<int>(max_batch));
 
+  // STS_TRACE_OUT=<file> records the whole bench as a Perfetto trace.
+  const auto trace = bench::maybeTraceFromEnv();
+
   harness::MeasureOptions opts;
   std::vector<harness::ServingMeasurement> all;
   Table table({"dataset", "matrix", "seq ms", "batched ms", "speedup",
-               "mean batch", "seq rhs/s", "batched rhs/s", "pinned ms",
-               "pin speedup"});
+               "mean batch", "seq rhs/s", "batched rhs/s", "wait%",
+               "pinned ms", "pin speedup"});
   for (const auto& [dataset_name, dataset] :
        {std::pair<std::string, harness::Dataset>{
             "suitesparse-standin", harness::suiteSparseStandin()},
@@ -62,6 +65,7 @@ int main() {
                     Table::fmt(m.speedup), Table::fmt(m.mean_batch_rhs, 1),
                     Table::fmt(m.sequential_rhs_per_second, 0),
                     Table::fmt(m.batched_rhs_per_second, 0),
+                    Table::fmt(m.batched_wait_fraction * 100.0, 1),
                     m.pinned_seconds > 0.0
                         ? Table::fmt(m.pinned_seconds * 1e3)
                         : "-",
@@ -71,6 +75,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  bench::finishTrace(trace);
   std::printf("\ngeomean serving speedup (batched / sequential): %.2fx\n",
               harness::geomeanServingSpeedup(all));
   std::printf("claim under test: coalesced multi-RHS batches amortize the "

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "baselines/spmp.hpp"
 #include "core/coarsen.hpp"
 #include "core/growlocal.hpp"
@@ -18,6 +20,7 @@
 #include "exec/row_kernels.hpp"
 #include "exec/serial.hpp"
 #include "exec/solver.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -61,6 +64,50 @@ void BM_BspSolve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * lower.nnz());
 }
 BENCHMARK(BM_BspSolve)->Arg(1)->Arg(2);
+
+/// Tracing-overhead guard rows (docs/OBSERVABILITY.md). All three run the
+/// same 2-thread BSP solve as BM_BspSolve/2; the row names are identical
+/// across STS_TRACING=ON and =OFF builds so tools/bench_diff.py can
+/// compare them directly:
+///   TraceIdle    — instrumentation compiled in (default build) but no
+///                  session and no sink: the cost every untraced solve
+///                  pays. Under -DSTS_TRACING=OFF this measures the
+///                  compiled-out baseline; CI diffs the two and fails if
+///                  enabled-but-idle regresses the solve by > 2%.
+///   TraceArmed   — a SolveTrace attribution sink attached to the context
+///                  (what EngineOptions::trace adds to every batch).
+///   TraceSession — a live TraceSession: every superstep records ring
+///                  events (the full pay-when-tracing cost).
+void BM_BspSolveTraced(benchmark::State& state, bool armed, bool session) {
+  const auto& lower = benchMatrix();
+  const auto schedule = core::growLocalSchedule(benchDag(), {.num_cores = 2});
+  const exec::BspExecutor executor(lower, schedule);
+  auto ctx = executor.createContext();
+  obs::SolveTrace sink;
+  if (armed) ctx->setTrace(&sink);
+  std::shared_ptr<obs::TraceSession> trace;
+  if (session) trace = obs::TraceSession::start();
+  const std::vector<double> b(static_cast<size_t>(lower.rows()), 1.0);
+  std::vector<double> x(b.size(), 0.0);
+  for (auto _ : state) {
+    executor.solve(b, x, *ctx);
+    benchmark::DoNotOptimize(x.data());
+  }
+  if (trace != nullptr) trace->stop();
+  state.SetItemsProcessed(state.iterations() * lower.nnz());
+}
+void BM_BspSolveTraceIdle(benchmark::State& state) {
+  BM_BspSolveTraced(state, /*armed=*/false, /*session=*/false);
+}
+void BM_BspSolveTraceArmed(benchmark::State& state) {
+  BM_BspSolveTraced(state, /*armed=*/true, /*session=*/false);
+}
+void BM_BspSolveTraceSession(benchmark::State& state) {
+  BM_BspSolveTraced(state, /*armed=*/true, /*session=*/true);
+}
+BENCHMARK(BM_BspSolveTraceIdle);
+BENCHMARK(BM_BspSolveTraceArmed);
+BENCHMARK(BM_BspSolveTraceSession);
 
 void BM_ContiguousSolve(benchmark::State& state) {
   const auto& lower = benchMatrix();

@@ -12,12 +12,21 @@
 /// every team a disjoint set of CPU ids, and `pin_threads` pins team
 /// members to their leased cores — all bitwise-lossless, so every client
 /// still gets exact results. Prints the per-solver serving statistics,
-/// including the realized team sizes and pin/migration counters.
+/// including the realized team sizes and pin/migration counters, the
+/// per-(team, storage) compute-vs-wait attribution rows, and the metrics
+/// registry. Set STS_TRACE_OUT=<file> to also record the whole run as a
+/// Perfetto/chrome trace_event JSON (load it at https://ui.perfetto.dev):
+/// every request's queue-wait, the coalesce decision, the core-budget
+/// lease, the pin outcome, plan/slab builds, and per-superstep
+/// compute/barrier spans on every executor thread.
 ///
 ///   ./engine_serving
+///   STS_TRACE_OUT=/tmp/serving_trace.json ./engine_serving
 
 #include <cstdio>
+#include <cstdlib>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -26,9 +35,19 @@
 #include "exec/affinity.hpp"
 #include "exec/solver.hpp"
 #include "exec/verify.hpp"
+#include "obs/trace.hpp"
 
 int main() {
   using namespace sts;
+
+  // Tracing is opt-in per run: no STS_TRACE_OUT, no session, and the
+  // instrumentation points cost one predicted-false branch each.
+  const char* trace_path = std::getenv("STS_TRACE_OUT");
+  std::shared_ptr<obs::TraceSession> trace;
+  if (trace_path != nullptr && trace_path[0] != '\0') {
+    trace = obs::TraceSession::start();
+    trace->nameCurrentThread("main");
+  }
 
   const sparse::CsrMatrix a = datagen::grid2dLaplacian5(120, 120);
   const sparse::CsrMatrix lower = a.lowerTriangle();
@@ -54,6 +73,7 @@ int main() {
   engine_options.core_budget = 0;     // aggregate team cap (0 = unlimited)
   engine_options.pin_threads = true;  // pin teams to leased, disjoint cores
   // engine_options.core_set = {0, 2, 4};  // or name the cores explicitly
+  engine_options.storage = exec::StorageKind::kSlab;  // packed-record walk
   engine::SolverEngine engine(engine_options);
   const auto id = engine.registerSolver(solver);
   if (engine.coreBudget().hasCoreSet()) {
@@ -111,6 +131,40 @@ int main() {
               static_cast<unsigned long long>(stats.pinned_batches),
               static_cast<unsigned long long>(stats.pinned_threads),
               static_cast<unsigned long long>(stats.migrated_threads));
+  std::printf("slo controller: %llu proportional steps actuated\n",
+              static_cast<unsigned long long>(stats.slo_steps));
+
+  // Where did executor-thread time go? One attribution row per
+  // (team size, storage layout) the engine actually ran.
+  const auto rows = engine.traceSummary(id);
+  if (!rows.empty()) {
+    std::printf("attribution (compute vs wait per executor thread):\n");
+    for (const auto& row : rows) {
+      std::printf("  team %d %-7s %4llu batches  compute %8.3f ms  "
+                  "wait %8.3f ms (%.1f%%, max %.3f ms)\n",
+                  row.team,
+                  row.storage == exec::StorageKind::kSlab ? "slab" : "csr",
+                  static_cast<unsigned long long>(row.batches),
+                  row.compute_seconds * 1e3, row.wait_seconds * 1e3,
+                  row.wait_fraction * 100.0, row.max_wait_seconds * 1e3);
+    }
+  }
+  std::printf("metrics registry:\n%s", engine.metrics().renderText().c_str());
+
+  if (trace != nullptr) {
+    trace->stop();
+    if (trace->writeJson(trace_path)) {
+      std::printf("trace: wrote %s (%llu events, %zu threads, "
+                  "%llu dropped)\n",
+                  trace_path,
+                  static_cast<unsigned long long>(trace->totalEvents()),
+                  trace->numThreads(),
+                  static_cast<unsigned long long>(trace->droppedEvents()));
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path);
+    }
+  }
+
   std::printf("worst relative error %.2e -> %s\n", worst,
               worst < 1e-10 ? "OK" : "FAILED");
   return worst < 1e-10 ? 0 : 1;

@@ -62,10 +62,12 @@ class ContextPool {
 
  private:
   void release(std::unique_ptr<exec::SolveContext> ctx) {
-    // Pooled contexts carry no placement: a batch's pinned core set must
-    // not leak into whichever batch leases this context next (including
-    // after an exception unwound past the solve).
+    // Pooled contexts carry no placement or attribution sink: a batch's
+    // pinned core set (or its stack-local SolveTrace) must not leak into
+    // whichever batch leases this context next (including after an
+    // exception unwound past the solve).
     ctx->clearPinnedCores();
+    ctx->setTrace(nullptr);
     std::lock_guard<std::mutex> lock(mu_);
     free_.push_back(std::move(ctx));
   }

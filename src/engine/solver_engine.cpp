@@ -1,24 +1,52 @@
 #include "engine/solver_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "exec/affinity.hpp"
 #include "harness/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace sts::engine {
 
 namespace {
-/// Latency ring-buffer capacity: quantiles are computed over the most
-/// recent this-many completions, so a long-lived server's p50/p95 track
-/// current behavior instead of freezing at warm-up values.
-constexpr std::size_t kMaxLatencySamples = 1 << 16;
-/// Sliding window of the SLO controller: its grow/shrink decisions react
-/// to the p95 of this many most-recent completions, so a step in offered
-/// load shows up within one window instead of being averaged away.
-constexpr std::size_t kSloWindow = 64;
+/// Relative p95 error below which the SLO controller holds: without a
+/// deadband a width sitting exactly at the target would dither one step
+/// up and down every window.
+constexpr double kSloDeadband = 0.1;
+/// Proportional gain: widths move by round(gain * |err| * current) per
+/// decision (at least 1), so big violations converge in a step or two and
+/// near-target errors creep instead of overshooting.
+constexpr double kSloGain = 0.5;
+
+std::string solverMetric(SolverId id, const char* name) {
+  return "sts.solver" + std::to_string(id) + "." + name;
+}
 }  // namespace
+
+int sloStep(double p95, double target, int current, int base, int min_team,
+            bool deep_backlog) {
+  const double err = (p95 - target) / target;
+  // An unreachable target (err in the millions) must saturate, not
+  // overflow: any step of at least base - min_team spans the whole lattice.
+  const auto step_of = [&](double magnitude) {
+    const double raw = kSloGain * magnitude * current;
+    const double cap = static_cast<double>(base - min_team + 1);
+    return std::max(1, static_cast<int>(std::lround(std::min(raw, cap))));
+  };
+  int next = current;
+  if (err > kSloDeadband) {
+    // Violating: spend cores on latency, proportionally to how badly.
+    next = current + step_of(err);
+  } else if (err < -kSloDeadband && deep_backlog) {
+    // Under target with backlog: spend cores on concurrency instead.
+    next = current - step_of(-err);
+  }
+  return std::clamp(next, min_team, base);
+}
 
 CoreBudget SolverEngine::makeBudget(const EngineOptions& options) {
   std::vector<int> ids = options.core_set;
@@ -95,6 +123,7 @@ int SolverEngine::seedTeam(const exec::TriangularSolver& solver) {
   std::vector<double> b(n, 1.0);
   std::vector<double> x(n, 0.0);
   auto ctx = solver.createContext();
+  STS_TRACE_SPAN1("plan", "seed_probe", "team", probe_team);
   solver.solve(b, x, *ctx, probe_team, policy, storage);
   const auto t0 = std::chrono::steady_clock::now();
   solver.solve(b, x, *ctx, probe_team, policy, storage);
@@ -144,8 +173,17 @@ SolverId SolverEngine::registerSolver(
     }
   }
   std::lock_guard<std::mutex> lock(solvers_mu_);
+  const auto id = static_cast<SolverId>(solvers_.size());
+  // Registry-backed instruments, named per solver id. Created before the
+  // solver is published, so workers never observe null instrument
+  // pointers.
+  reg->latency_hist = &metrics_.histogram(solverMetric(id, "latency_seconds"));
+  reg->requests_counter = &metrics_.counter(solverMetric(id, "requests"));
+  reg->rhs_solved_counter = &metrics_.counter(solverMetric(id, "rhs_solved"));
+  reg->batches_counter = &metrics_.counter(solverMetric(id, "batches"));
+  reg->slo_steps_counter = &metrics_.counter(solverMetric(id, "slo_steps"));
   solvers_.push_back(std::move(reg));
-  return static_cast<SolverId>(solvers_.size() - 1);
+  return id;
 }
 
 SolverEngine::Registered& SolverEngine::registered(SolverId id) const {
@@ -177,6 +215,10 @@ std::future<std::vector<double>> SolverEngine::enqueue(SolverId id,
     noteRetired(1);  // plain fetch_sub here could strand a drain() waiter
     throw std::runtime_error("SolverEngine: submit after shutdown");
   }
+  STS_TRACE_INSTANT("engine", "submit", "solver",
+                    static_cast<std::uint64_t>(id), "nrhs",
+                    static_cast<std::uint64_t>(nrhs));
+  reg.requests_counter->inc();
   // Stats count accepted submissions only, hence after the push. A worker
   // may finish the request before this runs; the counters are monotonic
   // and `submitted` was captured pre-push, so nothing skews.
@@ -285,31 +327,29 @@ void SolverEngine::updateController(Registered& reg, int base,
   int current = reg.elastic_team.load(std::memory_order_relaxed);
   if (current <= 0) current = base;
 
-  // p95 over the last kSloWindow completions (the ring may hold far more;
-  // a long-lived server must react to the current regime, not its past).
-  const std::size_t have = reg.latency_samples.size();
-  const std::size_t take = std::min(have, kSloWindow);
+  // p95 over the controller's sliding window only: a long-lived server
+  // must react to the current regime, not its whole history (which is
+  // what the cumulative registry histogram records). The ring fills
+  // in-order from 0, so the valid prefix is simply min(count, kSize);
+  // quantiles are order-blind.
+  const SloWindow& w = reg.slo_window;
+  const std::size_t take = std::min(w.count, SloWindow::kSize);
   if (take == 0) return;
-  std::vector<double> window(take);
-  for (std::size_t i = 0; i < take; ++i) {
-    // latency_next is one past the newest sample; while the ring is still
-    // filling the newest sits at have - 1.
-    const std::size_t pos =
-        have < kMaxLatencySamples
-            ? have - take + i
-            : (reg.latency_next + kMaxLatencySamples - take + i) %
-                  kMaxLatencySamples;
-    window[i] = reg.latency_samples[pos];
-  }
+  std::vector<double> window(w.samples.begin(),
+                             w.samples.begin() + static_cast<long>(take));
   const double p95 = harness::quantile(window, 0.95);
 
-  int next = current;
-  if (p95 > options_.target_p95) {
-    // Violating: spend cores on latency — grow toward the base width.
-    next = std::min(base, current * 2);
-  } else if (backlog >= deepThreshold()) {
-    // Under target with backlog: spend cores on concurrency instead.
-    next = std::max(min_team, current / 2);
+  const int next = sloStep(p95, options_.target_p95, current, base, min_team,
+                           backlog >= deepThreshold());
+  if (next != current) {
+    // An actuation, not a hold: count it and leave a trace breadcrumb so
+    // a Perfetto timeline shows exactly when and how far the controller
+    // moved this solver's width.
+    reg.slo_steps += 1;
+    reg.slo_steps_counter->inc();
+    STS_TRACE_INSTANT("engine", "slo_step", "from",
+                      static_cast<std::uint64_t>(current), "to",
+                      static_cast<std::uint64_t>(next));
   }
   reg.elastic_team.store(next, std::memory_order_relaxed);
 }
@@ -330,6 +370,22 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   const std::size_t k = batch.size();
   const int base_team = baseTeam(solver);  // shallow-queue reference
   const int desired = chooseTeam(reg, backlog);
+#if STS_TRACING
+  // Close each request's queue-wait span (submit -> this worker committing
+  // to it) and mark the coalescing decision, before the lease can block.
+  {
+    const std::uint64_t popped_ns = obs::nowNanos();
+    for (const SolveRequest& request : batch) {
+      STS_TRACE_SPAN_AT("engine", "queue_wait", obs::toNanos(request.submitted),
+                        popped_ns, "solver",
+                        static_cast<std::uint64_t>(request.solver));
+    }
+    STS_TRACE_INSTANT("engine", "coalesce", "rhs",
+                      static_cast<std::uint64_t>(k), "backlog",
+                      static_cast<std::uint64_t>(backlog));
+  }
+  const std::uint64_t lease_begin = obs::nowNanos();
+#endif
   // Draw the actual team from the shared budget: the grant — not the
   // desire — is the executed width, so concurrent batches can never
   // oversubscribe the machine in aggregate. Folding keeps any granted
@@ -337,6 +393,13 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   CoreBudget::Lease cores(budget_, desired,
                           std::min(options_.elastic_min_team, desired));
   const int team = cores.granted();
+#if STS_TRACING
+  // The lease span is where budget contention shows up: a batch blocked on
+  // exhausted cores spends its time here, not in solve.
+  STS_TRACE_SPAN_AT("engine", "lease", lease_begin, obs::nowNanos(), "desired",
+                    static_cast<std::uint64_t>(desired), "granted",
+                    static_cast<std::uint64_t>(team));
+#endif
   // Arm pinning when the lease names concrete cores: the team members pin
   // themselves to the leased ids inside the solve region, so this batch
   // cannot overlap any concurrent batch's cores (the leases are disjoint)
@@ -352,6 +415,11 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
 
   std::vector<std::vector<double>> results;
   std::exception_ptr error;
+  // Per-batch attribution sink: the executor threads' StepTracers flush
+  // their compute/wait nanoseconds here (EngineOptions::trace); aggregated
+  // into reg.trace_rows below. Stack-local — the pool clears the context's
+  // sink pointer on release, so it cannot dangle past this frame.
+  obs::SolveTrace batch_trace;
   const auto t0 = std::chrono::steady_clock::now();
   sts::index_t total_rhs = 0;
   try {
@@ -360,16 +428,20 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
       lease.context().setPinnedCores(
           {cores.cores().begin(), cores.cores().end()});
     }
+    if (options_.trace) lease.context().setTrace(&batch_trace);
     if (k == 1) {
       SolveRequest& request = batch.front();
       total_rhs = request.nrhs;
       std::vector<double> x(request.b.size());
-      if (request.nrhs == 1) {
-        solver.solve(request.b, x, lease.context(), team, fold_policy,
-                     storage);
-      } else {
-        solver.solveMultiRhs(request.b, x, request.nrhs, lease.context(),
-                             team, fold_policy, storage);
+      {
+        STS_TRACE_SPAN1("engine", "solve", "team", team);
+        if (request.nrhs == 1) {
+          solver.solve(request.b, x, lease.context(), team, fold_policy,
+                       storage);
+        } else {
+          solver.solveMultiRhs(request.b, x, request.nrhs, lease.context(),
+                               team, fold_policy, storage);
+        }
       }
       results.push_back(std::move(x));
     } else {
@@ -378,13 +450,20 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
       total_rhs = static_cast<sts::index_t>(k);
       std::vector<double> b_packed(n * k);
       std::vector<double> x_packed(n * k);
-      for (std::size_t j = 0; j < k; ++j) {
-        const auto& b = batch[j].b;
-        for (std::size_t i = 0; i < n; ++i) b_packed[i * k + j] = b[i];
+      {
+        STS_TRACE_SPAN1("engine", "pack", "rhs", k);
+        for (std::size_t j = 0; j < k; ++j) {
+          const auto& b = batch[j].b;
+          for (std::size_t i = 0; i < n; ++i) b_packed[i * k + j] = b[i];
+        }
       }
-      solver.solveMultiRhs(b_packed, x_packed,
-                           static_cast<sts::index_t>(k), lease.context(),
-                           team, fold_policy, storage);
+      {
+        STS_TRACE_SPAN1("engine", "solve", "team", team);
+        solver.solveMultiRhs(b_packed, x_packed,
+                             static_cast<sts::index_t>(k), lease.context(),
+                             team, fold_policy, storage);
+      }
+      STS_TRACE_SPAN1("engine", "unpack", "rhs", k);
       results.resize(k);
       for (std::size_t j = 0; j < k; ++j) {
         auto& x = results[j];
@@ -400,6 +479,9 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
     error = std::current_exception();
   }
   const auto t1 = std::chrono::steady_clock::now();
+  STS_TRACE_INSTANT("engine", "batch_done", "rhs",
+                    static_cast<std::uint64_t>(total_rhs), "team",
+                    static_cast<std::uint64_t>(team));
 
   for (std::size_t j = 0; j < k; ++j) {
     if (error) {
@@ -411,6 +493,7 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
 
   std::lock_guard<std::mutex> lock(reg.stats_mu);
   reg.batches += 1;
+  reg.batches_counter->inc();
   reg.team_size_accum += static_cast<std::uint64_t>(team);
   if (team < base_team) reg.shrunk_batches += 1;
   if (team < desired) reg.budget_throttled_batches += 1;
@@ -431,17 +514,38 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
     reg.batches_failed += 1;
   } else {
     reg.rhs_solved += static_cast<std::uint64_t>(total_rhs);
+    reg.rhs_solved_counter->add(static_cast<std::uint64_t>(total_rhs));
     if (k > 1) reg.coalesced_rhs += static_cast<std::uint64_t>(k);
   }
+  // Fold the batch's compute/wait attribution into its (team, storage)
+  // summary row. Relaxed loads: the executor threads flushed before the
+  // solve call returned, and this thread performed that call. Compiled
+  // out with the StepTracer bodies: an STS_TRACING=OFF build would only
+  // ever record all-zero rows, so traceSummary() stays empty instead.
+#if STS_TRACING
+  if (options_.trace && !error) {
+    TraceAccum& row =
+        reg.trace_rows[{team, static_cast<int>(storage)}];
+    row.batches += 1;
+    row.thread_steps +=
+        batch_trace.thread_steps.load(std::memory_order_relaxed);
+    row.compute_ns += batch_trace.compute_ns.load(std::memory_order_relaxed);
+    row.wait_ns += batch_trace.wait_ns.load(std::memory_order_relaxed);
+    row.max_wait_ns =
+        std::max(row.max_wait_ns,
+                 batch_trace.max_wait_ns.load(std::memory_order_relaxed));
+  }
+#endif
   for (std::size_t j = 0; j < k; ++j) {
     const double latency =
         std::chrono::duration<double>(t1 - batch[j].submitted).count();
-    if (reg.latency_samples.size() < kMaxLatencySamples) {
-      reg.latency_samples.push_back(latency);
-    } else {
-      reg.latency_samples[reg.latency_next] = latency;
-    }
-    reg.latency_next = (reg.latency_next + 1) % kMaxLatencySamples;
+    // Quantiles: the cumulative registry histogram. Controller: the
+    // sliding window ring (fills in-order from 0, overwrites oldest).
+    reg.latency_hist->record(latency);
+    SloWindow& w = reg.slo_window;
+    w.samples[w.next] = latency;
+    w.next = (w.next + 1) % SloWindow::kSize;
+    w.count += 1;
   }
   if (options_.elastic && options_.target_p95 > 0.0) {
     updateController(reg, base_team, backlog);
@@ -451,11 +555,11 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
 SolverServingStats SolverEngine::stats(SolverId id) const {
   Registered& reg = registered(id);
   SolverServingStats out;
-  std::vector<double> samples;
   {
     // stats_mu also serializes the submit and batch-completion hot paths,
-    // so only O(1) field reads and a flat memcpy of the latency ring happen
-    // under it; the O(n log n) quantile sort runs on the snapshot outside.
+    // so only O(1) field reads happen under it. The latency quantiles come
+    // from the registry histogram — O(buckets), no sample copy at all
+    // (prior PRs copied and sorted a 64Ki-sample ring here).
     std::lock_guard<std::mutex> lock(reg.stats_mu);
     out.requests = reg.requests;
     out.rhs_submitted = reg.rhs_submitted;
@@ -471,6 +575,7 @@ SolverServingStats SolverEngine::stats(SolverId id) const {
     out.migrated_threads = reg.migrated_threads;
     out.slab_batches = reg.slab_batches;
     out.seeded_team = reg.seeded_team;
+    out.slo_steps = reg.slo_steps;
     out.busy_seconds = reg.busy_seconds;
     if (reg.batches > 0) {
       out.mean_team_size = static_cast<double>(reg.team_size_accum) /
@@ -483,7 +588,6 @@ SolverServingStats SolverEngine::stats(SolverId id) const {
           static_cast<double>(reg.rhs_solved) /
           static_cast<double>(reg.batches - reg.batches_failed);
     }
-    samples = reg.latency_samples;
     if (reg.saw_submit && reg.saw_complete) {
       const double window =
           std::chrono::duration<double>(reg.last_complete - reg.first_submit)
@@ -494,11 +598,32 @@ SolverServingStats SolverEngine::stats(SolverId id) const {
       }
     }
   }
-  if (!samples.empty()) {
-    out.latency_p50_seconds = harness::quantile(samples, 0.5);
-    out.latency_p95_seconds = harness::quantile(samples, 0.95);
+  if (reg.latency_hist->count() > 0) {
+    out.latency_p50_seconds = reg.latency_hist->quantile(0.5);
+    out.latency_p95_seconds = reg.latency_hist->quantile(0.95);
   }
   return out;
+}
+
+std::vector<TraceSummaryRow> SolverEngine::traceSummary(SolverId id) const {
+  Registered& reg = registered(id);
+  std::vector<TraceSummaryRow> out;
+  std::lock_guard<std::mutex> lock(reg.stats_mu);
+  out.reserve(reg.trace_rows.size());
+  for (const auto& [key, accum] : reg.trace_rows) {
+    TraceSummaryRow row;
+    row.team = key.first;
+    row.storage = static_cast<exec::StorageKind>(key.second);
+    row.batches = accum.batches;
+    row.thread_steps = accum.thread_steps;
+    row.compute_seconds = static_cast<double>(accum.compute_ns) * 1e-9;
+    row.wait_seconds = static_cast<double>(accum.wait_ns) * 1e-9;
+    row.max_wait_seconds = static_cast<double>(accum.max_wait_ns) * 1e-9;
+    const double total = row.compute_seconds + row.wait_seconds;
+    row.wait_fraction = total > 0.0 ? row.wait_seconds / total : 0.0;
+    out.push_back(row);
+  }
+  return out;  // std::map iteration: already sorted by (team, storage)
 }
 
 const exec::TriangularSolver& SolverEngine::solver(SolverId id) const {

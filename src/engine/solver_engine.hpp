@@ -1,11 +1,14 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "engine/context_pool.hpp"
@@ -13,6 +16,7 @@
 #include "engine/request_queue.hpp"
 #include "engine/types.hpp"
 #include "exec/solver.hpp"
+#include "obs/registry.hpp"
 
 /// \file solver_engine.hpp
 /// The batched request-serving subsystem: turns analyzed TriangularSolvers
@@ -74,6 +78,19 @@
 
 namespace sts::engine {
 
+/// One SLO controller decision, pure and unit-testable: given the recent
+/// window p95 and the target, return the next team width. Steps are
+/// proportional to the relative error — err = (p95 - target) / target —
+/// instead of the former power-of-two grow/halve: width moves by
+/// max(1, round(0.5 * |err| * current)) per decision, so a 2x violation
+/// jumps straight toward base while a 10% one creeps, and small errors
+/// inside the ±10% deadband hold (no oscillation at the target). Growth
+/// needs only a violation; shrinking additionally needs a deep backlog
+/// (cores freed must have queued work to serve, same asymmetry as before).
+/// The result is clamped to [min_team, base].
+int sloStep(double p95, double target, int current, int base, int min_team,
+            bool deep_backlog);
+
 /// The serving facade: register analyzed solvers, submit right-hand
 /// sides, get futures. Construction spawns the workers; destruction
 /// drains and joins them. All public methods are thread-safe. The
@@ -119,6 +136,18 @@ class SolverEngine {
   /// Snapshot of one solver's serving statistics. Thread-safe.
   SolverServingStats stats(SolverId id) const;
 
+  /// Per-(team, storage) compute-vs-wait attribution of one solver's
+  /// batches (EngineOptions::trace; empty when tracing is off or compiled
+  /// out). Rows are sorted by (team, storage). Thread-safe.
+  std::vector<TraceSummaryRow> traceSummary(SolverId id) const;
+
+  /// The engine's metric registry: per-solver latency histograms
+  /// (`sts.solver<id>.latency_seconds`), request/batch counters, and the
+  /// SLO controller's actuation counters, exportable via renderText() /
+  /// renderJson(). Engine-private (not Registry::global()) so concurrent
+  /// engines in one process never collide on names. Thread-safe.
+  const obs::Registry& metrics() const { return metrics_; }
+
   const exec::TriangularSolver& solver(SolverId id) const;
   int numWorkers() const { return static_cast<int>(workers_.size()); }
   const EngineOptions& options() const { return options_; }
@@ -130,9 +159,37 @@ class SolverEngine {
   const CoreBudget& coreBudget() const { return budget_; }
 
  private:
+  /// Sliding window of recent request latencies feeding the SLO
+  /// controller's p95 (the registry histogram is cumulative — right for
+  /// stats quantiles, wrong for a controller that must react to the
+  /// current regime within one window).
+  struct SloWindow {
+    static constexpr std::size_t kSize = 64;
+    std::array<double, kSize> samples{};
+    std::size_t count = 0;  ///< total recorded (caps the valid prefix)
+    std::size_t next = 0;   ///< ring cursor
+  };
+
+  /// Accumulated SolveTrace totals of one (team, storage) configuration.
+  struct TraceAccum {
+    std::uint64_t batches = 0;
+    std::uint64_t thread_steps = 0;
+    std::uint64_t compute_ns = 0;
+    std::uint64_t wait_ns = 0;
+    std::uint64_t max_wait_ns = 0;
+  };
+
   struct Registered {
     std::shared_ptr<const exec::TriangularSolver> solver;
     std::unique_ptr<ContextPool> contexts;
+
+    /// Registry-backed instruments (owned by the engine's metrics_; set
+    /// once at registration, updated lock-free thereafter).
+    obs::Histogram* latency_hist = nullptr;
+    obs::Counter* requests_counter = nullptr;
+    obs::Counter* rhs_solved_counter = nullptr;
+    obs::Counter* batches_counter = nullptr;
+    obs::Counter* slo_steps_counter = nullptr;
 
     /// The SLO controller's current team choice (0 = unset, meaning the
     /// base width). Cold-started by seedTeam at registration when
@@ -158,11 +215,14 @@ class SolverEngine {
     std::uint64_t migrated_threads = 0;
     std::uint64_t slab_batches = 0;
     std::uint64_t team_size_accum = 0;
+    std::uint64_t slo_steps = 0;
     double busy_seconds = 0.0;
-    /// Ring buffer of recent request latencies in seconds (quantiles track
-    /// the last kMaxLatencySamples completions, not server birth).
-    std::vector<double> latency_samples;
-    std::size_t latency_next = 0;
+    /// Controller input: recent latencies only (stats quantiles come from
+    /// latency_hist, which never forgets — see obs/registry.hpp).
+    SloWindow slo_window;
+    /// traceSummary() rows, keyed (team, storage); fed by each batch's
+    /// armed SolveTrace when EngineOptions::trace is on.
+    std::map<std::pair<int, int>, TraceAccum> trace_rows;
     std::chrono::steady_clock::time_point first_submit{};
     std::chrono::steady_clock::time_point last_complete{};
     bool saw_submit = false;
@@ -182,8 +242,9 @@ class SolverEngine {
   /// keeps every choice bitwise-lossless (solver.hpp contract).
   int chooseTeam(const Registered& reg, std::size_t backlog) const;
   /// One SLO controller step after a batch completes: p95 over the recent
-  /// latency window vs. target_p95 decides grow / shrink / hold. Caller
-  /// holds reg.stats_mu.
+  /// latency window vs. target_p95 decides grow / shrink / hold, with
+  /// proportional error-sized steps (see engine::sloStep). Caller holds
+  /// reg.stats_mu.
   void updateController(Registered& reg, int base, std::size_t backlog);
   /// SLO cold start (elastic + target_p95 only): estimate the per-solve
   /// cost at registration — one warmed probe solve on a budget-leased
@@ -214,6 +275,8 @@ class SolverEngine {
   EngineOptions options_;
   RequestQueue queue_;
   CoreBudget budget_;
+  /// Engine-private metric registry (see metrics()).
+  obs::Registry metrics_;
   /// pin_threads requested AND the budget carries a core set AND the
   /// platform has affinity syscalls — the three conditions under which
   /// executeBatch arms per-batch pinning.

@@ -36,6 +36,7 @@ using SolverId = std::uint32_t;
 /// | `pin_threads`          | WHERE the granted team executes | pins each team member to one leased id (auto-detects `core_set` from the process mask when empty); placement only — results stay bitwise identical |
 /// | `fold_policy` (solver) | HOW ranks map onto the granted width | kModulo / kBinPack; any width from the rules above executes losslessly |
 /// | `storage` (engine or solver) | WHAT memory layout the hot loop walks | engine `storage` overrides each solver's `SolverOptions::storage` when set; kSlab streams per-(team, policy) thread-local packed records, kSharedCsr walks the analyzed CSR. Layout only — results stay bitwise identical |
+/// | `trace`                | WHETHER batches attribute compute vs. wait | on (default): every batch arms a per-solve obs::SolveTrace so `traceSummary()` aggregates per-superstep compute/wait per (team, storage); executor threads batch the accounting locally and flush once per region. off: attribution idle (executors see a null sink — one branch per call site). Independent of the process-wide obs::TraceSession (Perfetto spans), which any thread can start regardless. Orthogonal to all rows above — tracing never changes results (bitwise) |
 ///
 /// Pipeline per batch: elastic policy picks a DESIRED width → CoreBudget
 /// grants an actual width (and, in core-set mode, which cores) →
@@ -124,6 +125,14 @@ struct EngineOptions {
   /// `elastic`; off by default because it doubles the per-batch staging
   /// memory and coalesced-request latency envelope `max_batch` implies.
   bool adaptive_batch = false;
+  /// Arm per-batch compute-vs-wait attribution (obs::SolveTrace on the
+  /// leased context): `traceSummary()` then reports per-superstep compute
+  /// and barrier/p2p-wait time per (team, storage) combination. The cost
+  /// is one branch per superstep per executor thread plus two atomic adds
+  /// per thread per batch — on by default. Off makes executors see a null
+  /// sink. Orthogonal to the process-wide obs::TraceSession; disabling
+  /// `trace` does not stop session spans, and neither changes results.
+  bool trace = true;
 };
 
 /// One queued solve. `b` is row-major n x nrhs in the ORIGINAL row
@@ -176,11 +185,39 @@ struct SolverServingStats {
   /// base width when the target leaves room to shrink. 0 = unseeded (no
   /// SLO target, or the model kept the base width).
   int seeded_team = 0;
+  /// SLO controller actuations: decisions that actually CHANGED the team
+  /// width (holds — at the base, inside the deadband, or under slack with
+  /// a shallow queue — do not count). Each actuation is also emitted as an
+  /// `slo_step` trace instant when a TraceSession is active.
+  std::uint64_t slo_steps = 0;
+  /// Latency quantiles over every completion, from the registry's
+  /// log-bucketed histogram (<= ~9% relative bucket error — see
+  /// obs/registry.hpp; prior PRs computed them exactly over a 64Ki-sample
+  /// window).
   double latency_p50_seconds = 0.0;  ///< request submit -> completion
   double latency_p95_seconds = 0.0;
   /// rhs_solved / (last completion - first submission); 0 until the first
   /// batch completes.
   double throughput_rhs_per_second = 0.0;
+};
+
+/// One (team, storage) attribution row of SolverEngine::traceSummary():
+/// where that configuration's batches spent their executor time, split
+/// into per-superstep compute and synchronization wait (BSP barrier
+/// crossings + P2P dependency spins) as measured by the per-thread
+/// StepTracers. Wait fraction is the paper's Table 7.2 axis — barrier
+/// overhead share — observable on production solves.
+struct TraceSummaryRow {
+  int team = 0;  ///< granted OpenMP team width of these batches
+  sts::exec::StorageKind storage = sts::exec::StorageKind::kSharedCsr;
+  std::uint64_t batches = 0;       ///< batches aggregated into this row
+  std::uint64_t thread_steps = 0;  ///< (superstep, thread) pairs executed
+  double compute_seconds = 0.0;    ///< summed per-thread compute time
+  double wait_seconds = 0.0;       ///< summed barrier/p2p wait time
+  /// Longest single barrier/p2p wait any thread saw (straggler signal).
+  double max_wait_seconds = 0.0;
+  /// wait / (compute + wait); 0 when nothing was measured.
+  double wait_fraction = 0.0;
 };
 
 }  // namespace sts::engine

@@ -7,6 +7,7 @@
 #include "exec/affinity.hpp"
 #include "exec/row_kernels.hpp"
 #include "exec/serial.hpp"
+#include "obs/trace.hpp"
 
 namespace sts::exec {
 
@@ -25,8 +26,8 @@ namespace {
 template <typename NotePinFn, typename KernelFn>
 void slabSuperstepRegion(const detail::SlabPlan& plan, index_t steps,
                          int team, std::span<const int> pin_set,
-                         SpinBarrier& barrier, NotePinFn&& note_pin,
-                         KernelFn&& kernel) {
+                         SpinBarrier& barrier, obs::SolveTrace* sink,
+                         NotePinFn&& note_pin, KernelFn&& kernel) {
   const bool sync = team > 1;
   omp_set_dynamic(0);
 #pragma omp parallel num_threads(team)
@@ -34,9 +35,16 @@ void slabSuperstepRegion(const detail::SlabPlan& plan, index_t steps,
     const auto t = static_cast<size_t>(omp_get_thread_num());
     const ScopedPin pin(pin_set, static_cast<int>(t));
     note_pin(pin);
+    obs::StepTracer tracer(sink);
+    std::uint64_t step = 0;
     int sense = barrier.initialSense();
     detail::forEachSlabRecord(plan.threads[t], steps, kernel, [&] {
-      if (sync) barrier.wait(sense, team);
+      tracer.computeDone(step);
+      if (sync) {
+        barrier.wait(sense, team);
+        tracer.waitDone(step);
+      }
+      ++step;
     });
   }
 }
@@ -73,6 +81,7 @@ BspExecutor::BspExecutor(const CsrMatrix& lower, const Schedule& schedule)
 const detail::FoldedLists& BspExecutor::foldedPlan(
     int team, core::FoldPolicy policy) const {
   return folded_.get(team, policy, [this](int t, core::FoldPolicy p) {
+    STS_TRACE_SPAN1("plan", "fold_build", "team", t);
     const auto map =
         core::foldRankMap(num_supersteps_, num_threads_, t, p, rank_loads_);
     return detail::foldThreadLists(full_.verts, full_.step_ptr,
@@ -85,11 +94,13 @@ const detail::SlabPlan& BspExecutor::slabPlan(int team,
   if (team == num_threads_) {
     // The full-width plan is policy-invariant; build one slab and share
     // it across the policy slots instead of packing the matrix twice.
-    return slabs_.getPolicyShared(team, [this](int) {
+    return slabs_.getPolicyShared(team, [this]([[maybe_unused]] int t) {
+      STS_TRACE_SPAN1("plan", "slab_build", "team", t);
       return detail::buildSlabPlan(lower_, full_);
     });
   }
   return slabs_.get(team, policy, [this](int t, core::FoldPolicy p) {
+    STS_TRACE_SPAN1("plan", "slab_build", "team", t);
     return detail::buildSlabPlan(lower_, foldedPlan(t, p));
   });
 }
@@ -112,7 +123,8 @@ void BspExecutor::solveSlab(std::span<const double> b, std::span<double> x,
   ctx.requireShape(team, lower_.rows(), "BspExecutor::solve");
   slabSuperstepRegion(
       slabPlan(team, policy), num_supersteps_, team, ctx.pinnedCores(),
-      ctx.barrier_, [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
+      ctx.barrier_, ctx.trace(),
+      [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
       [&](const detail::SlabRecordView& rec) {
         detail::computeRowPacked(rec.cols, rec.vals, rec.nnz, rec.diag, b, x,
                                  rec.row);
@@ -140,6 +152,7 @@ void BspExecutor::solve(std::span<const double> b, std::span<double> x,
     const auto t = static_cast<size_t>(omp_get_thread_num());
     const ScopedPin pin(pin_set, static_cast<int>(t));
     ctx.notePin(pin);
+    obs::StepTracer tracer(ctx.trace());
     int sense = barrier.initialSense();
     const auto& verts = plan.verts[t];
     const auto& ptr = plan.step_ptr[t];
@@ -149,7 +162,11 @@ void BspExecutor::solve(std::span<const double> b, std::span<double> x,
       for (size_t k = begin; k < end; ++k) {
         computeRow(row_ptr, col_idx, values, b, x, verts[k]);
       }
-      if (sync) barrier.wait(sense, team);
+      tracer.computeDone(static_cast<std::uint64_t>(s));
+      if (sync) {
+        barrier.wait(sense, team);
+        tracer.waitDone(static_cast<std::uint64_t>(s));
+      }
     }
   }
 }
@@ -190,7 +207,8 @@ void BspExecutor::solveMultiRhsSlab(std::span<const double> b,
   const auto r = static_cast<size_t>(nrhs);
   slabSuperstepRegion(
       slabPlan(team, policy), num_supersteps_, team, ctx.pinnedCores(),
-      ctx.barrier_, [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
+      ctx.barrier_, ctx.trace(),
+      [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
       [&](const detail::SlabRecordView& rec) {
         detail::computeRowMultiPacked(rec.cols, rec.vals, rec.nnz, rec.diag,
                                       b, x, rec.row, r);
@@ -220,6 +238,7 @@ void BspExecutor::solveMultiRhs(std::span<const double> b,
     const auto t = static_cast<size_t>(omp_get_thread_num());
     const ScopedPin pin(pin_set, static_cast<int>(t));
     ctx.notePin(pin);
+    obs::StepTracer tracer(ctx.trace());
     int sense = barrier.initialSense();
     const auto& verts = plan.verts[t];
     const auto& ptr = plan.step_ptr[t];
@@ -229,7 +248,11 @@ void BspExecutor::solveMultiRhs(std::span<const double> b,
       for (size_t k = begin; k < end; ++k) {
         computeRowMulti(row_ptr, col_idx, values, b, x, verts[k], r);
       }
-      if (sync) barrier.wait(sense, team);
+      tracer.computeDone(static_cast<std::uint64_t>(s));
+      if (sync) {
+        barrier.wait(sense, team);
+        tracer.waitDone(static_cast<std::uint64_t>(s));
+      }
     }
   }
 }
@@ -287,6 +310,7 @@ const detail::SlabPlan& ContiguousBspExecutor::slabPlan(
   // shape buildSlabPlan packs); the slab keeps the exact range walk
   // order, so results stay bitwise identical to the range path.
   const auto build = [this](int t, const FoldedRanges* plan) {
+    STS_TRACE_SPAN1("plan", "slab_build", "team", t);
     detail::FoldedLists lists;
     lists.verts.resize(static_cast<size_t>(t));
     lists.step_ptr.resize(static_cast<size_t>(t));
@@ -327,6 +351,7 @@ const detail::SlabPlan& ContiguousBspExecutor::slabPlan(
 const ContiguousBspExecutor::FoldedRanges&
 ContiguousBspExecutor::foldedPlan(int team, core::FoldPolicy policy) const {
   return folded_.get(team, policy, [this](int t, core::FoldPolicy pol) {
+    STS_TRACE_SPAN1("plan", "fold_build", "team", t);
     const auto map =
         core::foldRankMap(num_supersteps_, num_threads_, t, pol, rank_loads_);
     // Inverted map: ranks of slot q in ascending order, so each superstep
@@ -385,7 +410,8 @@ void ContiguousBspExecutor::solveSlab(std::span<const double> b,
   ctx.requireShape(team, lower_.rows(), "ContiguousBspExecutor::solve");
   slabSuperstepRegion(
       slabPlan(team, policy), num_supersteps_, team, ctx.pinnedCores(),
-      ctx.barrier_, [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
+      ctx.barrier_, ctx.trace(),
+      [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
       [&](const detail::SlabRecordView& rec) {
         detail::computeRowPacked(rec.cols, rec.vals, rec.nnz, rec.diag, b, x,
                                  rec.row);
@@ -414,6 +440,7 @@ void ContiguousBspExecutor::solve(std::span<const double> b,
       const int t = omp_get_thread_num();
       const ScopedPin pin(pin_set, t);
       ctx.notePin(pin);
+      obs::StepTracer tracer(ctx.trace());
       int sense = barrier.initialSense();
       for (index_t s = 0; s < steps; ++s) {
         const size_t g = static_cast<size_t>(s) * static_cast<size_t>(cores) +
@@ -423,7 +450,11 @@ void ContiguousBspExecutor::solve(std::span<const double> b,
         for (index_t i = lo; i < hi; ++i) {
           computeRow(row_ptr, col_idx, values, b, x, i);
         }
-        if (sync) barrier.wait(sense, team);
+        tracer.computeDone(static_cast<std::uint64_t>(s));
+        if (sync) {
+          barrier.wait(sense, team);
+          tracer.waitDone(static_cast<std::uint64_t>(s));
+        }
       }
     }
     return;
@@ -435,6 +466,7 @@ void ContiguousBspExecutor::solve(std::span<const double> b,
     const int t = omp_get_thread_num();
     const ScopedPin pin(pin_set, t);
     ctx.notePin(pin);
+    obs::StepTracer tracer(ctx.trace());
     int sense = barrier.initialSense();
     for (index_t s = 0; s < steps; ++s) {
       const size_t g = static_cast<size_t>(s) * static_cast<size_t>(team) +
@@ -447,7 +479,11 @@ void ContiguousBspExecutor::solve(std::span<const double> b,
           computeRow(row_ptr, col_idx, values, b, x, i);
         }
       }
-      if (sync) barrier.wait(sense, team);
+      tracer.computeDone(static_cast<std::uint64_t>(s));
+      if (sync) {
+        barrier.wait(sense, team);
+        tracer.waitDone(static_cast<std::uint64_t>(s));
+      }
     }
   }
 }
@@ -495,7 +531,8 @@ void ContiguousBspExecutor::solveMultiRhsSlab(std::span<const double> b,
   const auto r = static_cast<size_t>(nrhs);
   slabSuperstepRegion(
       slabPlan(team, policy), num_supersteps_, team, ctx.pinnedCores(),
-      ctx.barrier_, [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
+      ctx.barrier_, ctx.trace(),
+      [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
       [&](const detail::SlabRecordView& rec) {
         detail::computeRowMultiPacked(rec.cols, rec.vals, rec.nnz, rec.diag,
                                       b, x, rec.row, r);
@@ -529,6 +566,7 @@ void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
       const int t = omp_get_thread_num();
       const ScopedPin pin(pin_set, t);
       ctx.notePin(pin);
+      obs::StepTracer tracer(ctx.trace());
       int sense = barrier.initialSense();
       for (index_t s = 0; s < steps; ++s) {
         const size_t g = static_cast<size_t>(s) * static_cast<size_t>(cores) +
@@ -538,7 +576,11 @@ void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
         for (index_t i = lo; i < hi; ++i) {
           computeRowMulti(row_ptr, col_idx, values, b, x, i, r);
         }
-        if (sync) barrier.wait(sense, team);
+        tracer.computeDone(static_cast<std::uint64_t>(s));
+        if (sync) {
+          barrier.wait(sense, team);
+          tracer.waitDone(static_cast<std::uint64_t>(s));
+        }
       }
     }
     return;
@@ -550,6 +592,7 @@ void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
     const int t = omp_get_thread_num();
     const ScopedPin pin(pin_set, t);
     ctx.notePin(pin);
+    obs::StepTracer tracer(ctx.trace());
     int sense = barrier.initialSense();
     for (index_t s = 0; s < steps; ++s) {
       const size_t g = static_cast<size_t>(s) * static_cast<size_t>(team) +
@@ -562,7 +605,11 @@ void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
           computeRowMulti(row_ptr, col_idx, values, b, x, i, r);
         }
       }
-      if (sync) barrier.wait(sense, team);
+      tracer.computeDone(static_cast<std::uint64_t>(s));
+      if (sync) {
+        barrier.wait(sense, team);
+        tracer.waitDone(static_cast<std::uint64_t>(s));
+      }
     }
   }
 }

@@ -8,6 +8,7 @@
 #include "exec/affinity.hpp"
 #include "exec/row_kernels.hpp"
 #include "exec/serial.hpp"
+#include "obs/trace.hpp"
 
 namespace sts::exec {
 
@@ -23,13 +24,15 @@ void slabP2pRegion(const detail::SlabPlan& plan, index_t steps, int team,
                    std::span<const offset_t> wait_ptr,
                    std::span<const index_t> wait_adj,
                    std::atomic<std::uint32_t>* done, std::uint32_t epoch,
-                   NotePinFn&& note_pin, ComputeFn&& compute) {
+                   obs::SolveTrace* sink, NotePinFn&& note_pin,
+                   ComputeFn&& compute) {
   omp_set_dynamic(0);
 #pragma omp parallel num_threads(team)
   {
     const auto t = static_cast<size_t>(omp_get_thread_num());
     const ScopedPin pin(pin_set, static_cast<int>(t));
     note_pin(pin);
+    obs::StepTracer tracer(sink);
     detail::forEachSlabRecord(
         plan.threads[t], steps,
         [&](const detail::SlabRecordView& rec) {
@@ -38,7 +41,14 @@ void slabP2pRegion(const detail::SlabPlan& plan, index_t steps, int team,
                w < wait_ptr[static_cast<size_t>(i) + 1]; ++w) {
             const auto u =
                 static_cast<size_t>(wait_adj[static_cast<size_t>(w)]);
-            while (done[u].load(std::memory_order_acquire) != epoch) {
+            // Only unresolved dependencies are timed: the first load
+            // doubles as the resolved-already fast path, so a satisfied
+            // flag costs the tracer nothing.
+            if (done[u].load(std::memory_order_acquire) != epoch) {
+              tracer.spinBegin();
+              while (done[u].load(std::memory_order_acquire) != epoch) {
+              }
+              tracer.spinEnd(static_cast<std::uint64_t>(i));
             }
           }
           compute(rec);
@@ -46,6 +56,7 @@ void slabP2pRegion(const detail::SlabPlan& plan, index_t steps, int team,
                                              std::memory_order_release);
         },
         [] {});
+    tracer.finishP2p(static_cast<std::uint64_t>(steps));
   }
 }
 
@@ -107,6 +118,7 @@ P2pExecutor::P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
 const detail::FoldedLists& P2pExecutor::foldedPlan(
     int team, core::FoldPolicy policy) const {
   return folded_.get(team, policy, [this](int t, core::FoldPolicy p) {
+    STS_TRACE_SPAN1("plan", "fold_build", "team", t);
     const auto map =
         core::foldRankMap(num_supersteps_, num_threads_, t, p, rank_loads_);
     return detail::foldThreadLists(full_.verts, full_.step_ptr,
@@ -118,11 +130,13 @@ const detail::SlabPlan& P2pExecutor::slabPlan(int team,
                                               core::FoldPolicy policy) const {
   if (team == num_threads_) {
     // Policy-invariant at full width: one slab shared across policies.
-    return slabs_.getPolicyShared(team, [this](int) {
+    return slabs_.getPolicyShared(team, [this]([[maybe_unused]] int t) {
+      STS_TRACE_SPAN1("plan", "slab_build", "team", t);
       return detail::buildSlabPlan(lower_, full_);
     });
   }
   return slabs_.get(team, policy, [this](int t, core::FoldPolicy p) {
+    STS_TRACE_SPAN1("plan", "slab_build", "team", t);
     return detail::buildSlabPlan(lower_, foldedPlan(t, p));
   });
 }
@@ -146,7 +160,7 @@ void P2pExecutor::solveSlab(std::span<const double> b, std::span<double> x,
   const std::uint32_t epoch = ctx.beginP2pEpoch();
   slabP2pRegion(
       slabPlan(team, policy), num_supersteps_, team, ctx.pinnedCores(),
-      wait_ptr_, wait_adj_, ctx.done_.get(), epoch,
+      wait_ptr_, wait_adj_, ctx.done_.get(), epoch, ctx.trace(),
       [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
       [&](const detail::SlabRecordView& rec) {
         detail::computeRowPacked(rec.cols, rec.vals, rec.nnz, rec.diag, b, x,
@@ -176,6 +190,7 @@ void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
     const auto t = static_cast<size_t>(omp_get_thread_num());
     const ScopedPin pin(pin_set, static_cast<int>(t));
     ctx.notePin(pin);
+    obs::StepTracer tracer(ctx.trace());
     const auto& verts = plan.verts[t];
     for (const index_t i : verts) {
       // Wait for cross-thread dependencies (sparsified by the reduction).
@@ -184,13 +199,18 @@ void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
       for (offset_t k = wait_ptr_[static_cast<size_t>(i)];
            k < wait_ptr_[static_cast<size_t>(i) + 1]; ++k) {
         const auto u = static_cast<size_t>(wait_adj_[static_cast<size_t>(k)]);
-        while (done[u].load(std::memory_order_acquire) != epoch) {
-          // spin: dependencies resolve within a few hundred cycles
+        if (done[u].load(std::memory_order_acquire) != epoch) {
+          tracer.spinBegin();
+          while (done[u].load(std::memory_order_acquire) != epoch) {
+            // spin: dependencies resolve within a few hundred cycles
+          }
+          tracer.spinEnd(static_cast<std::uint64_t>(i));
         }
       }
       detail::computeRow(row_ptr, col_idx, values, b, x, i);
       done[static_cast<size_t>(i)].store(epoch, std::memory_order_release);
     }
+    tracer.finishP2p(static_cast<std::uint64_t>(num_supersteps_));
   }
 }
 
@@ -231,7 +251,7 @@ void P2pExecutor::solveMultiRhsSlab(std::span<const double> b,
   const std::uint32_t epoch = ctx.beginP2pEpoch();
   slabP2pRegion(
       slabPlan(team, policy), num_supersteps_, team, ctx.pinnedCores(),
-      wait_ptr_, wait_adj_, ctx.done_.get(), epoch,
+      wait_ptr_, wait_adj_, ctx.done_.get(), epoch, ctx.trace(),
       [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
       [&](const detail::SlabRecordView& rec) {
         detail::computeRowMultiPacked(rec.cols, rec.vals, rec.nnz, rec.diag,
@@ -263,17 +283,23 @@ void P2pExecutor::solveMultiRhs(std::span<const double> b,
     const auto t = static_cast<size_t>(omp_get_thread_num());
     const ScopedPin pin(pin_set, static_cast<int>(t));
     ctx.notePin(pin);
+    obs::StepTracer tracer(ctx.trace());
     const auto& verts = plan.verts[t];
     for (const index_t i : verts) {
       for (offset_t k = wait_ptr_[static_cast<size_t>(i)];
            k < wait_ptr_[static_cast<size_t>(i) + 1]; ++k) {
         const auto u = static_cast<size_t>(wait_adj_[static_cast<size_t>(k)]);
-        while (done[u].load(std::memory_order_acquire) != epoch) {
+        if (done[u].load(std::memory_order_acquire) != epoch) {
+          tracer.spinBegin();
+          while (done[u].load(std::memory_order_acquire) != epoch) {
+          }
+          tracer.spinEnd(static_cast<std::uint64_t>(i));
         }
       }
       detail::computeRowMulti(row_ptr, col_idx, values, b, x, i, r);
       done[static_cast<size_t>(i)].store(epoch, std::memory_order_release);
     }
+    tracer.finishP2p(static_cast<std::uint64_t>(num_supersteps_));
   }
 }
 

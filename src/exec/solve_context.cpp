@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exec/affinity.hpp"
+#include "obs/trace.hpp"
 
 namespace sts::exec {
 
@@ -35,6 +36,11 @@ void SolveContext::setPinnedCores(std::vector<int> cores) {
 void SolveContext::clearPinnedCores() { setPinnedCores({}); }
 
 void SolveContext::notePin(const ScopedPin& pin) {
+  // Emitted whether or not the pin took (ok=0 on the portable no-affinity
+  // fallback) so a trace always shows the team fan-out, one instant per
+  // member, even on hosts where placement is a no-op.
+  STS_TRACE_INSTANT("engine", "pin", "ok", pin.pinned() ? 1 : 0, "cpu",
+                    static_cast<std::uint64_t>(pin.cpu() < 0 ? 0 : pin.cpu()));
   if (!pin.pinned()) return;
   pinned_threads_.fetch_add(1, std::memory_order_relaxed);
   if (pin.migrated()) {

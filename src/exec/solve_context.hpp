@@ -46,6 +46,10 @@
 /// restriction; they exist so single-stream callers need no ceremony.
 class SolveContextTestPeer;
 
+namespace sts::obs {
+struct SolveTrace;
+}  // namespace sts::obs
+
 namespace sts::exec {
 
 class BspExecutor;
@@ -93,6 +97,15 @@ class SolveContext {
     return migrated_threads_.load(std::memory_order_relaxed);
   }
 
+  /// Arms per-superstep compute/wait attribution for subsequent solves on
+  /// this context: every executor region flushes its StepTracer totals
+  /// into `sink` (see obs/trace.hpp). nullptr disarms — the default, and
+  /// what ContextPool restores on release so pooled contexts never report
+  /// into a dead batch's sink. Same one-solve-at-a-time rule as the rest
+  /// of the context state.
+  void setTrace(sts::obs::SolveTrace* sink) { trace_ = sink; }
+  sts::obs::SolveTrace* trace() const { return trace_; }
+
  private:
   friend class BspExecutor;
   friend class ContiguousBspExecutor;
@@ -127,6 +140,8 @@ class SolveContext {
 
   /// Armed core set for pinned solves; empty = no pinning.
   std::vector<int> pin_cores_;
+  /// Armed attribution sink; nullptr = attribution off.
+  sts::obs::SolveTrace* trace_ = nullptr;
   std::atomic<std::uint64_t> pinned_threads_{0};
   std::atomic<std::uint64_t> migrated_threads_{0};
 

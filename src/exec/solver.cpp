@@ -10,6 +10,7 @@
 #include "baselines/wavefront.hpp"
 #include "core/coarsen.hpp"
 #include "exec/serial.hpp"
+#include "obs/trace.hpp"
 #include "sparse/permute.hpp"
 
 namespace sts::exec {
@@ -33,6 +34,8 @@ TriangularSolver TriangularSolver::analyze(const CsrMatrix& matrix,
   if (options.num_threads <= 0) {
     throw std::invalid_argument("TriangularSolver: num_threads must be > 0");
   }
+  STS_TRACE_SPAN1("plan", "analyze", "rows",
+                  static_cast<std::uint64_t>(matrix.rows()));
   TriangularSolver solver;
   solver.n_ = matrix.rows();
   solver.options_ = options;

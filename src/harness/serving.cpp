@@ -8,6 +8,17 @@
 
 namespace sts::harness {
 
+double waitFraction(const std::vector<engine::TraceSummaryRow>& rows) {
+  double compute = 0.0;
+  double wait = 0.0;
+  for (const auto& row : rows) {
+    compute += row.compute_seconds;
+    wait += row.wait_seconds;
+  }
+  const double total = compute + wait;
+  return total > 0.0 ? wait / total : 0.0;
+}
+
 double measureStagedPasses(engine::SolverEngine& engine,
                            engine::SolverId id,
                            const std::vector<std::vector<double>>& rhs,
@@ -92,6 +103,7 @@ ServingMeasurement measureServing(const std::string& matrix_name,
     m.batched_seconds =
         measureStagedPasses(engine, id, rhs, opts.warmup, opts.reps);
     m.mean_batch_rhs = engine.stats(id).mean_batch_rhs;
+    m.batched_wait_fraction = waitFraction(engine.traceSummary(id));
   }
 
   // Pinned engine: identical staged passes, but every batch's team is
@@ -108,6 +120,7 @@ ServingMeasurement measureServing(const std::string& matrix_name,
     const auto stats = engine.stats(id);
     m.pinned_batches = stats.pinned_batches;
     m.migrated_threads = stats.migrated_threads;
+    m.pinned_wait_fraction = waitFraction(engine.traceSummary(id));
   }
 
   m.speedup = m.sequential_seconds / m.batched_seconds;

@@ -39,7 +39,19 @@ struct ServingMeasurement {
   double pinned_speedup = 0.0;  ///< batched (unpinned) / pinned seconds
   std::uint64_t pinned_batches = 0;    ///< engine stat: batches pinned
   std::uint64_t migrated_threads = 0;  ///< engine stat: migrations corrected
+  /// Barrier/flag wait share of the batched pass's executor-thread time,
+  /// from SolverEngine::traceSummary() (batch-weighted mean over the
+  /// per-(team,storage) attribution rows). 0 when EngineOptions::trace is
+  /// off or the build compiled tracing out — attribution is the always-on
+  /// accumulator path, so in practice 0 only under -DSTS_TRACING=OFF.
+  double batched_wait_fraction = 0.0;
+  double pinned_wait_fraction = 0.0;  ///< same, for the pinned pass
 };
+
+/// Batch-weighted mean wait fraction over attribution rows (0 if empty or
+/// no time was attributed). Shared by measureServing and the serving
+/// benches so "wait share" means the same thing everywhere it is printed.
+double waitFraction(const std::vector<engine::TraceSummaryRow>& rows);
 
 /// Median resume()-to-completion seconds of a staged backlog: each pass
 /// pauses the engine, submits every `rhs` entry (deterministic

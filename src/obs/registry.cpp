@@ -1,0 +1,139 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sts::obs {
+
+double Histogram::bucketUpperBound(int idx) {
+  if (idx <= 0) return std::ldexp(1.0, kMinExponent);  // underflow end
+  if (idx >= kNumBuckets - 1) return std::ldexp(1.0, kMaxExponent);
+  const int octave = (idx - 1) / kSubBuckets;
+  const int sub = (idx - 1) % kSubBuckets;
+  // The sub-bucket covers frac in [0.5 + sub/16, 0.5 + (sub+1)/16) of the
+  // octave [2^(kMinExponent+octave), 2^(kMinExponent+octave+1)).
+  const double frac = 0.5 + static_cast<double>(sub + 1) /
+                                (2 * kSubBuckets);
+  return std::ldexp(frac, kMinExponent + octave + 1);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-th order statistic, matching harness::quantile's
+  // nearest-rank convention closely enough for telemetry.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucketUpperBound(i);
+  }
+  return bucketUpperBound(kNumBuckets - 1);
+}
+
+std::vector<std::pair<double, std::uint64_t>> Histogram::nonEmptyBuckets()
+    const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) out.emplace_back(bucketUpperBound(i), c);
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* g = new Registry();  // leaked: alive for exit-time users
+  return *g;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+
+std::string formatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::renderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name;
+    out += ' ';
+    out += std::to_string(c->value());
+    out += '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += name;
+    out += ' ';
+    out += formatDouble(g->value());
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name + "_count " + std::to_string(h->count()) + '\n';
+    out += name + "_sum " + formatDouble(h->sum()) + '\n';
+    out += name + "_p50 " + formatDouble(h->quantile(0.50)) + '\n';
+    out += name + "_p95 " + formatDouble(h->quantile(0.95)) + '\n';
+    out += name + "_p99 " + formatDouble(h->quantile(0.99)) + '\n';
+  }
+  return out;
+}
+
+std::string Registry::renderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + formatDouble(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":{\"count\":" + std::to_string(h->count()) +
+           ",\"sum\":" + formatDouble(h->sum()) +
+           ",\"mean\":" + formatDouble(h->mean()) +
+           ",\"p50\":" + formatDouble(h->quantile(0.50)) +
+           ",\"p95\":" + formatDouble(h->quantile(0.95)) +
+           ",\"p99\":" + formatDouble(h->quantile(0.99)) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace sts::obs

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file registry.hpp
+/// Named-metric registry: counters, gauges and log-bucketed latency
+/// histograms, with text and JSON exporters.
+///
+/// Instruments are allocated once through a `Registry` (name -> instrument,
+/// creation is idempotent) and then updated lock-free: counters and gauges
+/// are single atomics, histograms are a fixed array of per-bucket atomic
+/// counters. Reads (exporters, `SolverEngine::stats()` snapshots) walk the
+/// atomics without stopping writers, so a snapshot is per-instrument
+/// consistent but not a cross-instrument atomic cut — fine for serving
+/// telemetry, by design.
+///
+/// `Histogram` buckets are logarithmic with 8 sub-buckets per octave
+/// (power of two), giving a worst-case relative quantile error of one
+/// sub-bucket width, about 9%. That is the standard latency-telemetry
+/// trade: fixed 2KiB footprint and O(1) record, any quantile on demand,
+/// regardless of how many samples were recorded (the bespoke 64Ki-sample
+/// ring this replaces forgot everything past its window).
+///
+/// There is a process-wide `Registry::global()` for app-level use; the
+/// engine deliberately owns a private registry per instance so tests that
+/// build and tear down many engines do not cross-contaminate names.
+
+namespace sts::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed histogram over positive doubles (latencies in seconds,
+/// sizes, ...). 8 sub-buckets per octave across 2^-32 .. 2^31 (504 buckets
+/// + 2 overflow ends); values below/above are clamped into the end
+/// buckets. record() is two relaxed fetch_adds and a CAS-free sum update.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 8;        // per octave, power of two
+  static constexpr int kMinExponent = -32;     // 2^-32 s ~ 0.23 ns
+  static constexpr int kMaxExponent = 31;      // 2^31 s  ~ 68 years
+  static constexpr int kNumBuckets =
+      (kMaxExponent - kMinExponent) * kSubBuckets + 2;
+
+  void record(double value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Atomic double sum via CAS loop (no std::atomic<double>::fetch_add
+    // until C++20 libstdc++ catches up on all targets we build on).
+    double seen = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(seen, seen + value,
+                                       std::memory_order_relaxed)) {
+    }
+    buckets_[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  /// Quantile estimate (q in [0,1]): the upper bound of the bucket holding
+  /// the q-th sample. Worst-case relative error = one sub-bucket width
+  /// (2^(1/8)-1 ~ 9%). Returns 0 when empty.
+  double quantile(double q) const;
+
+  /// (upper_bound, count) for every non-empty bucket, ascending.
+  std::vector<std::pair<double, std::uint64_t>> nonEmptyBuckets() const;
+
+  /// Bucket index for a value: log2 octave + linear sub-bucket within it.
+  static int bucketIndex(double value) {
+    if (!(value > 0) || std::isnan(value)) return 0;
+    int exp = 0;
+    const double frac = std::frexp(value, &exp);  // frac in [0.5, 1)
+    // Sub-bucket within the octave [2^(exp-1), 2^exp).
+    const int sub = static_cast<int>((frac - 0.5) * 2 * kSubBuckets);
+    const int idx = (exp - 1 - kMinExponent) * kSubBuckets +
+                    std::min(sub, kSubBuckets - 1) + 1;
+    if (idx < 1) return 0;
+    if (idx > kNumBuckets - 2) return kNumBuckets - 1;
+    return idx;
+  }
+
+  /// Upper bound of bucket `idx` (inclusive end of its value range).
+  static double bucketUpperBound(int idx);
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Name -> instrument map. counter()/gauge()/histogram() are idempotent
+/// get-or-create (a mutex guards the map; the returned instruments are
+/// updated lock-free). Instruments live as long as the registry.
+class Registry {
+ public:
+  /// The process-wide registry (leaked singleton, safe at exit).
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// `name value` lines, sorted by name; histograms expand to
+  /// `name_count`, `name_sum`, `name_p50/p95/p99`.
+  std::string renderText() const;
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
+  /// {name:{count,sum,mean,p50,p95,p99}}}.
+  std::string renderJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: stable iteration order for the exporters, pointer-stable
+  // values (unique_ptr) so references survive rehash-free.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sts::obs

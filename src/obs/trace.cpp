@@ -1,0 +1,273 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace sts::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_on{false};
+std::atomic<std::uint64_t> g_trace_generation{0};
+}  // namespace detail
+
+namespace {
+
+std::size_t roundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// The single active session. Guarded by g_session_mu; the hot path never
+/// touches it (it checks g_trace_on and a thread-local generation).
+std::mutex g_session_mu;
+std::shared_ptr<TraceSession> g_session;  // NOLINT: intentional global
+
+/// Per-thread cache of (session generation -> ring). The shared_ptr keeps
+/// the ring alive even if the session is stopped and dropped while this
+/// thread still holds a raw pointer between emits.
+struct ThreadRingCache {
+  std::uint64_t generation = 0;
+  std::shared_ptr<TraceRing> ring;
+  int tid = -1;
+};
+
+ThreadRingCache& threadCache() {
+  thread_local ThreadRingCache cache;
+  return cache;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TraceRing
+
+TraceRing::TraceRing(std::size_t capacity) {
+  const std::size_t cap = roundUpPow2(std::max<std::size_t>(capacity, 2));
+  slots_.resize(cap);
+  mask_ = cap - 1;
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  const std::uint64_t total = emitted();
+  const std::size_t cap = capacity();
+  const std::uint64_t retained = std::min<std::uint64_t>(total, cap);
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(retained));
+  for (std::uint64_t i = total - retained; i < total; ++i) {
+    out.push_back(slots_[static_cast<std::size_t>(i) & mask_]);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- TraceSession
+
+TraceSession::TraceSession(TraceSessionOptions options)
+    : options_(options), epoch_ns_(nowNanos()) {
+  if (const char* cap = std::getenv("STS_TRACE_RING_CAP")) {
+    const long v = std::atol(cap);
+    if (v > 0) options_.ring_capacity = static_cast<std::size_t>(v);
+  }
+}
+
+TraceSession::~TraceSession() { stop(); }
+
+std::shared_ptr<TraceSession> TraceSession::start(TraceSessionOptions options) {
+  std::lock_guard<std::mutex> lock(g_session_mu);
+  if (g_session != nullptr && !g_session->stopped()) return g_session;
+  g_session = std::shared_ptr<TraceSession>(new TraceSession(options));
+  // Invalidate every thread's cached ring, then open the collection gate.
+  detail::g_trace_generation.fetch_add(1, std::memory_order_release);
+  detail::g_trace_on.store(true, std::memory_order_release);
+  return g_session;
+}
+
+std::shared_ptr<TraceSession> TraceSession::current() {
+  std::lock_guard<std::mutex> lock(g_session_mu);
+  return (g_session != nullptr && !g_session->stopped()) ? g_session : nullptr;
+}
+
+void TraceSession::stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_session_mu);
+  if (g_session.get() == this) {
+    detail::g_trace_on.store(false, std::memory_order_release);
+  }
+}
+
+std::shared_ptr<TraceRing> TraceSession::registerCurrentThread(int* tid_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadSlot slot;
+  slot.ring = std::make_shared<TraceRing>(options_.ring_capacity);
+  threads_.push_back(slot);
+  *tid_out = static_cast<int>(threads_.size()) - 1;
+  return threads_.back().ring;
+}
+
+void TraceSession::nameCurrentThread(const std::string& name) {
+  ThreadRingCache& cache = threadCache();
+  const std::uint64_t gen =
+      detail::g_trace_generation.load(std::memory_order_acquire);
+  if (cache.generation != gen || cache.ring == nullptr) {
+    // Force registration so the name has a track to land on.
+    if (traceRingSlowPath() == nullptr) return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t tid = static_cast<std::size_t>(threadCache().tid);
+  if (tid < threads_.size()) threads_[tid].name = name;
+}
+
+std::size_t TraceSession::numThreads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+std::uint64_t TraceSession::totalEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const ThreadSlot& t : threads_) {
+    total += std::min<std::uint64_t>(t.ring->emitted(), t.ring->capacity());
+  }
+  return total;
+}
+
+std::uint64_t TraceSession::droppedEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const ThreadSlot& t : threads_) total += t.ring->dropped();
+  return total;
+}
+
+namespace {
+
+void appendJsonEscaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+/// trace_event ts/dur are doubles in microseconds; emit with nanosecond
+/// precision (three decimals) so adjacent sub-microsecond supersteps stay
+/// ordered in the viewer.
+void appendMicros(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string TraceSession::toJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  for (std::size_t tid = 0; tid < threads_.size(); ++tid) {
+    const ThreadSlot& slot = threads_[tid];
+    dropped += slot.ring->dropped();
+    if (!slot.name.empty()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+      out += std::to_string(tid);
+      out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      appendJsonEscaped(out, slot.name.c_str());
+      out += "\"}}";
+    }
+    for (const TraceEvent& e : slot.ring->snapshot()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"ph\":\"";
+      out += (e.kind == EventKind::kSpan) ? 'X' : 'i';
+      out += "\",\"pid\":1,\"tid\":";
+      out += std::to_string(tid);
+      out += ",\"cat\":\"";
+      appendJsonEscaped(out, e.cat);
+      out += "\",\"name\":\"";
+      appendJsonEscaped(out, e.name);
+      out += "\",\"ts\":";
+      appendMicros(out, e.ts_ns >= epoch_ns_ ? e.ts_ns - epoch_ns_ : 0);
+      if (e.kind == EventKind::kSpan) {
+        out += ",\"dur\":";
+        appendMicros(out, e.dur_ns);
+      } else {
+        out += ",\"s\":\"t\"";
+      }
+      if (e.arg_key != nullptr || e.arg2_key != nullptr) {
+        out += ",\"args\":{";
+        bool first_arg = true;
+        if (e.arg_key != nullptr) {
+          out += '"';
+          appendJsonEscaped(out, e.arg_key);
+          out += "\":";
+          out += std::to_string(e.arg_val);
+          first_arg = false;
+        }
+        if (e.arg2_key != nullptr) {
+          if (!first_arg) out += ',';
+          out += '"';
+          appendJsonEscaped(out, e.arg2_key);
+          out += "\":";
+          out += std::to_string(e.arg2_val);
+        }
+        out += '}';
+      }
+      out += '}';
+    }
+  }
+  out += "],\"otherData\":{\"producer\":\"sts::obs\",\"dropped_events\":";
+  out += std::to_string(dropped);
+  out += ",\"threads\":";
+  out += std::to_string(threads_.size());
+  out += "}}";
+  return out;
+}
+
+bool TraceSession::writeJson(const std::string& path) const {
+  const std::string json = toJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = (std::fclose(f) == 0) && written == json.size();
+  return ok;
+}
+
+// ------------------------------------------------------- emit fast path glue
+
+TraceRing* traceRingSlowPath() {
+  ThreadRingCache& cache = threadCache();
+  const std::uint64_t gen =
+      detail::g_trace_generation.load(std::memory_order_acquire);
+  if (cache.generation == gen && cache.ring != nullptr) {
+    return cache.ring.get();
+  }
+  // New session (or first emit from this thread): register under the
+  // session lock. Off the solve hot loop — registration happens once per
+  // (thread, session).
+  std::shared_ptr<TraceSession> session = TraceSession::current();
+  if (session == nullptr) return nullptr;
+  cache.ring = session->registerCurrentThread(&cache.tid);
+  cache.generation = gen;
+  return cache.ring.get();
+}
+
+}  // namespace sts::obs
