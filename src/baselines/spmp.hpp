@@ -28,7 +28,7 @@ struct SpmpOptions {
   int num_cores = 2;
   /// Apply the "remove long edges in triangles" pass [PSSD14 §2.3].
   bool transitive_reduction = true;
-  dag::TransitiveReductionOptions reduction;
+  dag::TransitiveReductionOptions reduction = {};
 };
 
 struct SpmpResult {

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/check.hpp"
 #include "dag/wavefronts.hpp"
 
 namespace sts::core {
@@ -84,6 +85,35 @@ std::vector<int> binPackRankMap(index_t num_supersteps, int width, int target,
       step_max[s] = std::max(step_max[s], load[s]);
     }
     slot_total[static_cast<size_t>(best_q)] += totals[static_cast<size_t>(p)];
+  }
+
+  // Surjectivity repair. The greedy can starve a slot: zero-load ranks all
+  // tie at delta 0 and the slot_total tie-break keeps sending them to the
+  // same (still zero-total) slot, so e.g. loads {a, 0, 0, 0} folded 4 -> 3
+  // pack as {0, 1, 1, 1} and slot 2 would idle forever. Every slot must
+  // own at least one rank (check::validateRankMap pins this): give each
+  // empty slot the lightest rank of a multi-rank slot. Moving a rank out
+  // of a shared slot onto an empty one never increases any per-superstep
+  // load, so the repair keeps the makespan bound (and with it the
+  // never-worse-than-modulo property).
+  std::vector<int> slot_ranks(static_cast<size_t>(target), 0);
+  for (const int q : map) ++slot_ranks[static_cast<size_t>(q)];
+  for (int q = 0; q < target; ++q) {
+    if (slot_ranks[static_cast<size_t>(q)] != 0) continue;
+    int donor = -1;
+    for (int p = 0; p < width; ++p) {
+      const int from = map[static_cast<size_t>(p)];
+      if (slot_ranks[static_cast<size_t>(from)] < 2) continue;
+      if (donor < 0 || totals[static_cast<size_t>(p)] <
+                           totals[static_cast<size_t>(donor)]) {
+        donor = p;
+      }
+    }
+    // width >= target guarantees a multi-rank donor while any slot is
+    // empty (pigeonhole).
+    --slot_ranks[static_cast<size_t>(map[static_cast<size_t>(donor)])];
+    map[static_cast<size_t>(donor)] = q;
+    ++slot_ranks[static_cast<size_t>(q)];
   }
   return map;
 }
@@ -318,6 +348,12 @@ Schedule Schedule::foldWith(std::span<const int> rank_map,
       throw std::invalid_argument("Schedule::foldWith: slot out of range");
     }
   }
+#if STS_CHECKS
+  // Beyond the range check above: the fold must reach every target slot
+  // (an unreached slot would idle a granted core for the whole solve).
+  check::enforce(check::validateRankMap(num_cores_, num_cores, rank_map),
+                 "Schedule::foldWith");
+#endif
   std::vector<int> core(static_cast<size_t>(n_));
   for (index_t v = 0; v < n_; ++v) {
     core[static_cast<size_t>(v)] = rank_map[static_cast<size_t>(

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "base/sync.hpp"
 #include "exec/solver.hpp"
 
 /// \file context_pool.hpp
@@ -45,7 +45,7 @@ class ContextPool {
 
   Lease acquire() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      base::MutexLock lock(mu_);
       if (!free_.empty()) {
         auto ctx = std::move(free_.back());
         free_.pop_back();
@@ -56,7 +56,7 @@ class ContextPool {
   }
 
   std::size_t pooled() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     return free_.size();
   }
 
@@ -68,13 +68,13 @@ class ContextPool {
     // exception unwound past the solve).
     ctx->clearPinnedCores();
     ctx->setTrace(nullptr);
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     free_.push_back(std::move(ctx));
   }
 
   const exec::TriangularSolver& solver_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<exec::SolveContext>> free_;
+  mutable base::Mutex mu_;
+  std::vector<std::unique_ptr<exec::SolveContext>> free_ STS_GUARDED_BY(mu_);
 };
 
 }  // namespace sts::engine

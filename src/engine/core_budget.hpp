@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
+
+#include "base/sync.hpp"
+#include "check/check.hpp"
 
 /// \file core_budget.hpp
 /// The machine-wide core allocator of the serving subsystem. Each engine
@@ -94,8 +96,10 @@ class CoreBudget {
     }
     if (total_ <= 0) return Grant{desired, {}};
     const int need = std::min({min_needed, desired, total_});
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return total_ - in_use_ >= need; });
+    base::MutexLock lock(mu_);
+    // Explicit wait loop so the guarded read of in_use_ stays in this
+    // (analyzed) scope — see base/sync.hpp.
+    while (total_ - in_use_ < need) cv_.wait(lock.native());
     Grant grant;
     grant.count = std::min(desired, total_ - in_use_);
     if (!core_set_.empty()) {
@@ -110,6 +114,15 @@ class CoreBudget {
     in_use_ += grant.count;
     peak_ = std::max(peak_, in_use_);
     if (grant.count < desired) ++throttled_;
+#if STS_CHECKS
+    // Checked builds audit disjointness across every live grant on each
+    // lease — the "never overlap" invariant placement relies on.
+    if (!core_set_.empty()) {
+      live_grants_.push_back(grant.ids);
+      check::enforce(check::auditCoreGrants(core_set_, live_grants_),
+                     "CoreBudget::acquire");
+    }
+#endif
     return grant;
   }
 
@@ -120,7 +133,7 @@ class CoreBudget {
   void release(Grant grant) {
     if (total_ <= 0 || grant.count <= 0) return;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      base::MutexLock lock(mu_);
       if (!core_set_.empty()) {
         if (static_cast<int>(grant.ids.size()) != grant.count) {
           throw std::invalid_argument(
@@ -130,6 +143,17 @@ class CoreBudget {
           free_ids_.insert(
               std::lower_bound(free_ids_.begin(), free_ids_.end(), id), id);
         }
+#if STS_CHECKS
+        const auto live = std::find(live_grants_.begin(), live_grants_.end(),
+                                    grant.ids);
+        check::enforce(
+            live != live_grants_.end()
+                ? check::CheckResult{}
+                : check::CheckResult::failure(
+                      "released a grant that was never live"),
+            "CoreBudget::release");
+        live_grants_.erase(live);
+#endif
       }
       in_use_ -= grant.count;
     }
@@ -162,18 +186,18 @@ class CoreBudget {
   std::span<const int> coreSet() const { return core_set_; }
 
   int inUse() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     return in_use_;
   }
   /// High-water mark of concurrently leased cores; never exceeds total()
   /// when limited — the invariant the TSan-covered budget tests pin.
   int peakInUse() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     return peak_;
   }
   /// Acquires granted less than they desired (the contention signal).
   std::uint64_t throttledAcquires() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     return throttled_;
   }
 
@@ -181,13 +205,18 @@ class CoreBudget {
   const int total_;
   /// Immutable after construction (sorted); empty in counting mode.
   std::vector<int> core_set_;
-  mutable std::mutex mu_;
+  mutable base::Mutex mu_;
   std::condition_variable cv_;
-  /// Free ids, kept sorted so grants take the lowest first. Guarded by mu_.
-  std::vector<int> free_ids_;
-  int in_use_ = 0;
-  int peak_ = 0;
-  std::uint64_t throttled_ = 0;
+  /// Free ids, kept sorted so grants take the lowest first.
+  std::vector<int> free_ids_ STS_GUARDED_BY(mu_);
+  int in_use_ STS_GUARDED_BY(mu_) = 0;
+  int peak_ STS_GUARDED_BY(mu_) = 0;
+  std::uint64_t throttled_ STS_GUARDED_BY(mu_) = 0;
+#if STS_CHECKS
+  /// Checked builds only: the id set of every outstanding core-set grant,
+  /// audited for pairwise disjointness on each acquire/release.
+  std::vector<std::vector<int>> live_grants_ STS_GUARDED_BY(mu_);
+#endif
 };
 
 }  // namespace sts::engine

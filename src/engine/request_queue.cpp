@@ -4,7 +4,7 @@ namespace sts::engine {
 
 bool RequestQueue::push(SolveRequest&& request) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     if (closed_) return false;
     queue_.push_back(std::move(request));
   }
@@ -22,11 +22,13 @@ std::vector<SolveRequest> RequestQueue::popBatch(sts::index_t max_rhs,
 std::vector<SolveRequest> RequestQueue::popBatch(
     const std::function<sts::index_t(std::size_t)>& max_rhs_for_depth,
     bool coalesce, std::size_t* backlog) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    // A closed queue ignores pause so shutdown always drains.
-    return closed_ ? true : (!paused_ && !queue_.empty());
-  });
+  base::MutexLock lock(mu_);
+  // A closed queue ignores pause so shutdown always drains. Spelled as an
+  // explicit loop (not a predicate lambda) so the thread-safety analysis
+  // sees the guarded reads under mu_ — see base/sync.hpp.
+  while (!closed_ && (paused_ || queue_.empty())) {
+    cv_.wait(lock.native());
+  }
   if (queue_.empty()) {
     if (backlog) *backlog = 0;
     return {};  // closed and drained
@@ -64,13 +66,13 @@ std::vector<SolveRequest> RequestQueue::popBatch(
 }
 
 void RequestQueue::pause() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   paused_ = true;
 }
 
 void RequestQueue::resume() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     paused_ = false;
   }
   cv_.notify_all();
@@ -78,19 +80,19 @@ void RequestQueue::resume() {
 
 void RequestQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return closed_;
 }
 
 std::size_t RequestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return queue_.size();
 }
 

@@ -4,9 +4,9 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <vector>
 
+#include "base/sync.hpp"
 #include "engine/types.hpp"
 
 /// \file request_queue.hpp
@@ -60,11 +60,14 @@ class RequestQueue {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
+  /// The one queue lock (see the file comment: held only to move request
+  /// records, never across solving or promise fulfillment). The guarded
+  /// members below are compiler-enforced under Clang `-Wthread-safety`.
+  mutable base::Mutex mu_;
   std::condition_variable cv_;
-  std::deque<SolveRequest> queue_;
-  bool paused_ = false;
-  bool closed_ = false;
+  std::deque<SolveRequest> queue_ STS_GUARDED_BY(mu_);
+  bool paused_ STS_GUARDED_BY(mu_) = false;
+  bool closed_ STS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sts::engine

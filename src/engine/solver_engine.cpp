@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "base/sync.hpp"
 #include "exec/affinity.hpp"
 #include "harness/stats.hpp"
 #include "obs/trace.hpp"
@@ -172,7 +173,7 @@ SolverId SolverEngine::registerSolver(
       reg->elastic_team.store(seed, std::memory_order_relaxed);
     }
   }
-  std::lock_guard<std::mutex> lock(solvers_mu_);
+  base::MutexLock lock(solvers_mu_);
   const auto id = static_cast<SolverId>(solvers_.size());
   // Registry-backed instruments, named per solver id. Created before the
   // solver is published, so workers never observe null instrument
@@ -187,7 +188,7 @@ SolverId SolverEngine::registerSolver(
 }
 
 SolverEngine::Registered& SolverEngine::registered(SolverId id) const {
-  std::lock_guard<std::mutex> lock(solvers_mu_);
+  base::MutexLock lock(solvers_mu_);
   if (static_cast<std::size_t>(id) >= solvers_.size()) {
     throw std::invalid_argument("SolverEngine: unknown solver id");
   }
@@ -223,7 +224,7 @@ std::future<std::vector<double>> SolverEngine::enqueue(SolverId id,
   // may finish the request before this runs; the counters are monotonic
   // and `submitted` was captured pre-push, so nothing skews.
   {
-    std::lock_guard<std::mutex> lock(reg.stats_mu);
+    base::MutexLock lock(reg.stats_mu);
     reg.requests += 1;
     reg.rhs_submitted += static_cast<std::uint64_t>(nrhs);
     if (!reg.saw_submit) {
@@ -249,10 +250,12 @@ void SolverEngine::pause() { queue_.pause(); }
 void SolverEngine::resume() { queue_.resume(); }
 
 void SolverEngine::drain() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock, [&] {
-    return in_flight_.load(std::memory_order_acquire) == 0;
-  });
+  base::MutexLock lock(drain_mu_);
+  // Explicit wait loop (not a predicate lambda) per the base/sync.hpp
+  // discipline; the predicate itself reads only the atomic in_flight_.
+  while (in_flight_.load(std::memory_order_acquire) != 0) {
+    drain_cv_.wait(lock.native());
+  }
 }
 
 void SolverEngine::shutdown() {
@@ -357,7 +360,7 @@ void SolverEngine::updateController(Registered& reg, int base,
 void SolverEngine::noteRetired(std::int64_t count) {
   const auto prev = in_flight_.fetch_sub(count, std::memory_order_acq_rel);
   if (prev == count) {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    base::MutexLock lock(drain_mu_);
     drain_cv_.notify_all();
   }
 }
@@ -491,7 +494,7 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
     }
   }
 
-  std::lock_guard<std::mutex> lock(reg.stats_mu);
+  base::MutexLock lock(reg.stats_mu);
   reg.batches += 1;
   reg.batches_counter->inc();
   reg.team_size_accum += static_cast<std::uint64_t>(team);
@@ -560,7 +563,7 @@ SolverServingStats SolverEngine::stats(SolverId id) const {
     // so only O(1) field reads happen under it. The latency quantiles come
     // from the registry histogram — O(buckets), no sample copy at all
     // (prior PRs copied and sorted a 64Ki-sample ring here).
-    std::lock_guard<std::mutex> lock(reg.stats_mu);
+    base::MutexLock lock(reg.stats_mu);
     out.requests = reg.requests;
     out.rhs_submitted = reg.rhs_submitted;
     out.batches = reg.batches;
@@ -608,7 +611,7 @@ SolverServingStats SolverEngine::stats(SolverId id) const {
 std::vector<TraceSummaryRow> SolverEngine::traceSummary(SolverId id) const {
   Registered& reg = registered(id);
   std::vector<TraceSummaryRow> out;
-  std::lock_guard<std::mutex> lock(reg.stats_mu);
+  base::MutexLock lock(reg.stats_mu);
   out.reserve(reg.trace_rows.size());
   for (const auto& [key, accum] : reg.trace_rows) {
     TraceSummaryRow row;

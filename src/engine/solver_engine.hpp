@@ -6,11 +6,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "base/sync.hpp"
 #include "engine/context_pool.hpp"
 #include "engine/core_budget.hpp"
 #include "engine/request_queue.hpp"
@@ -200,33 +200,37 @@ class SolverEngine {
     /// once before the solver is published; never mutated after.
     int seeded_team = 0;
 
-    mutable std::mutex stats_mu;
-    std::uint64_t requests = 0;
-    std::uint64_t rhs_submitted = 0;
-    std::uint64_t batches = 0;
-    std::uint64_t batches_failed = 0;
-    std::uint64_t rhs_solved = 0;
-    std::uint64_t coalesced_rhs = 0;
-    std::uint64_t shrunk_batches = 0;
-    std::uint64_t budget_throttled_batches = 0;
-    std::uint64_t expanded_batches = 0;
-    std::uint64_t pinned_batches = 0;
-    std::uint64_t pinned_threads = 0;
-    std::uint64_t migrated_threads = 0;
-    std::uint64_t slab_batches = 0;
-    std::uint64_t team_size_accum = 0;
-    std::uint64_t slo_steps = 0;
-    double busy_seconds = 0.0;
+    /// Guards every serving statistic below (the submit and
+    /// batch-completion paths both write them); compiler-enforced under
+    /// Clang `-Wthread-safety`.
+    mutable base::Mutex stats_mu;
+    std::uint64_t requests STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t rhs_submitted STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t batches STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t batches_failed STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t rhs_solved STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t coalesced_rhs STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t shrunk_batches STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t budget_throttled_batches STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t expanded_batches STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t pinned_batches STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t pinned_threads STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t migrated_threads STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t slab_batches STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t team_size_accum STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t slo_steps STS_GUARDED_BY(stats_mu) = 0;
+    double busy_seconds STS_GUARDED_BY(stats_mu) = 0.0;
     /// Controller input: recent latencies only (stats quantiles come from
     /// latency_hist, which never forgets — see obs/registry.hpp).
-    SloWindow slo_window;
+    SloWindow slo_window STS_GUARDED_BY(stats_mu);
     /// traceSummary() rows, keyed (team, storage); fed by each batch's
     /// armed SolveTrace when EngineOptions::trace is on.
-    std::map<std::pair<int, int>, TraceAccum> trace_rows;
-    std::chrono::steady_clock::time_point first_submit{};
-    std::chrono::steady_clock::time_point last_complete{};
-    bool saw_submit = false;
-    bool saw_complete = false;
+    std::map<std::pair<int, int>, TraceAccum> trace_rows
+        STS_GUARDED_BY(stats_mu);
+    std::chrono::steady_clock::time_point first_submit STS_GUARDED_BY(stats_mu){};
+    std::chrono::steady_clock::time_point last_complete STS_GUARDED_BY(stats_mu){};
+    bool saw_submit STS_GUARDED_BY(stats_mu) = false;
+    bool saw_complete STS_GUARDED_BY(stats_mu) = false;
   };
 
   void workerLoop();
@@ -244,8 +248,9 @@ class SolverEngine {
   /// One SLO controller step after a batch completes: p95 over the recent
   /// latency window vs. target_p95 decides grow / shrink / hold, with
   /// proportional error-sized steps (see engine::sloStep). Caller holds
-  /// reg.stats_mu.
-  void updateController(Registered& reg, int base, std::size_t backlog);
+  /// reg.stats_mu — compiler-enforced via STS_REQUIRES under Clang.
+  void updateController(Registered& reg, int base, std::size_t backlog)
+      STS_REQUIRES(reg.stats_mu);
   /// SLO cold start (elastic + target_p95 only): estimate the per-solve
   /// cost at registration — one warmed probe solve on a budget-leased
   /// team (never oversubscribing concurrent batches) with the storage and
@@ -284,12 +289,15 @@ class SolverEngine {
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
 
-  mutable std::mutex solvers_mu_;
-  std::vector<std::unique_ptr<Registered>> solvers_;
+  mutable base::Mutex solvers_mu_;
+  std::vector<std::unique_ptr<Registered>> solvers_ STS_GUARDED_BY(solvers_mu_);
 
   /// Accepted-but-incomplete submissions; drain() waits for zero.
   std::atomic<std::int64_t> in_flight_{0};
-  std::mutex drain_mu_;
+  /// Pairs with drain_cv_ only: the waited-on state (in_flight_) is an
+  /// atomic, so the mutex carries no guarded data — it exists to make the
+  /// sleep/notify race-free.
+  base::Mutex drain_mu_;
   std::condition_variable drain_cv_;
 };
 

@@ -101,7 +101,7 @@ struct EngineOptions {
   /// its first `core_budget` ids). Empty with `pin_threads` set: the set
   /// is auto-detected from the process affinity mask (sched_getaffinity).
   /// Empty without `pin_threads`: counting mode (PR 3 behavior).
-  std::vector<int> core_set;
+  std::vector<int> core_set = {};
   /// Pin each batch's OpenMP team members to the batch's leased core ids
   /// (one stable core per member, exec::ScopedPin inside the solve region,
   /// previous mask restored on exit) so concurrent batches run on
@@ -117,7 +117,7 @@ struct EngineOptions {
   /// forces the shared-CSR walk. Purely a layout choice — batch results
   /// are bitwise identical either way; batches served from slabs are
   /// counted in SolverServingStats::slab_batches.
-  std::optional<sts::exec::StorageKind> storage;
+  std::optional<sts::exec::StorageKind> storage = std::nullopt;
   /// Couple the coalescing budget to the elastic policy: while the queue
   /// is deep (teams shrink) the effective batch cap rises toward
   /// 2 * max_batch — deeper amortization exactly when backlog can feed

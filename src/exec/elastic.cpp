@@ -1,5 +1,7 @@
 #include "exec/elastic.hpp"
 
+#include "check/check.hpp"
+
 namespace sts::exec::detail {
 
 FoldedLists foldThreadLists(
@@ -51,6 +53,14 @@ FoldedLists foldThreadLists(
       ptr.push_back(static_cast<sts::offset_t>(out.size()));
     }
   }
+#if STS_CHECKS
+  check::enforce(check::validateRankMap(width, team, rank_map),
+                 "foldThreadLists");
+  sts::index_t rows = 0;
+  for (const auto& list : verts) rows += static_cast<sts::index_t>(list.size());
+  check::enforce(check::validateFoldedLists(folded, num_steps, rows),
+                 "foldThreadLists");
+#endif
   return folded;
 }
 

@@ -2,12 +2,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "base/sync.hpp"
 #include "core/schedule.hpp"
 #include "sparse/types.hpp"
 
@@ -97,7 +97,7 @@ class TeamPlanCache {
     if (const Plan* plan = slot.published.load(std::memory_order_acquire)) {
       return *plan;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     if (const Plan* plan = slot.published.load(std::memory_order_relaxed)) {
       return *plan;
     }
@@ -117,7 +117,7 @@ class TeamPlanCache {
     if (const Plan* plan = first.published.load(std::memory_order_acquire)) {
       return *plan;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     if (const Plan* plan = first.published.load(std::memory_order_relaxed)) {
       return *plan;
     }
@@ -136,11 +136,18 @@ class TeamPlanCache {
            static_cast<std::size_t>(team);
   }
 
+  /// `published` is the lock-free read path (acquire/release pairing with
+  /// the build under mu_); `owned` is the slot's storage, written only
+  /// with mu_ held. The analysis cannot tie a nested struct's member to
+  /// the enclosing cache's mutex, so the build mutex itself (base::Mutex
+  /// + scoped MutexLock) carries the checked discipline here and the
+  /// publication ordering stays a TSan-certified contract
+  /// (tests/test_slab.cpp, tests/test_elastic.cpp Concurrent suites).
   struct Slot {
     std::atomic<const Plan*> published{nullptr};
     std::unique_ptr<const Plan> owned;
   };
-  mutable std::mutex mu_;
+  mutable base::Mutex mu_;
   std::unique_ptr<Slot[]> slots_;
   int max_team_ = 0;
 };

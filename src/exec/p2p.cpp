@@ -60,6 +60,26 @@ void slabP2pRegion(const detail::SlabPlan& plan, index_t steps, int team,
   }
 }
 
+/// Re-establishes the team-join happens-before edge through atomics after
+/// a P2P region. The OpenMP implicit barrier already joined the team, but
+/// libgomp's futex-based barrier is invisible to ThreadSanitizer (it is
+/// not TSan-instrumented), so the caller's reads of x would appear to race
+/// with worker writes. Each thread's final completion-flag store is a
+/// release covering all of its x writes; acquiring those flags here — they
+/// are already set, so the loops do not spin — rebuilds the same edge in
+/// TSan's model. The BSP paths need no equivalent: their last superstep
+/// ends on SpinBarrier, whose atomics TSan sees.
+void acquireTeamWrites(const detail::FoldedLists& plan,
+                       const std::atomic<std::uint32_t>* done,
+                       std::uint32_t epoch) {
+  for (const auto& verts : plan.verts) {
+    if (verts.empty()) continue;
+    while (done[static_cast<size_t>(verts.back())].load(
+               std::memory_order_acquire) != epoch) {
+    }
+  }
+}
+
 }  // namespace
 
 P2pExecutor::P2pExecutor(const CsrMatrix& lower, const Schedule& schedule,
@@ -166,6 +186,7 @@ void P2pExecutor::solveSlab(std::span<const double> b, std::span<double> x,
         detail::computeRowPacked(rec.cols, rec.vals, rec.nnz, rec.diag, b, x,
                                  rec.row);
       });
+  acquireTeamWrites(foldedPlan(team, policy), ctx.done_.get(), epoch);
 }
 
 void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
@@ -212,6 +233,7 @@ void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
     }
     tracer.finishP2p(static_cast<std::uint64_t>(num_supersteps_));
   }
+  acquireTeamWrites(plan, done, epoch);
 }
 
 void P2pExecutor::solve(std::span<const double> b, std::span<double> x,
@@ -257,6 +279,7 @@ void P2pExecutor::solveMultiRhsSlab(std::span<const double> b,
         detail::computeRowMultiPacked(rec.cols, rec.vals, rec.nnz, rec.diag,
                                       b, x, rec.row, r);
       });
+  acquireTeamWrites(foldedPlan(team, policy), ctx.done_.get(), epoch);
 }
 
 void P2pExecutor::solveMultiRhs(std::span<const double> b,
@@ -301,6 +324,7 @@ void P2pExecutor::solveMultiRhs(std::span<const double> b,
     }
     tracer.finishP2p(static_cast<std::uint64_t>(num_supersteps_));
   }
+  acquireTeamWrites(plan, done, epoch);
 }
 
 void P2pExecutor::solveMultiRhs(std::span<const double> b,

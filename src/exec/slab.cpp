@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "check/check.hpp"
+
 namespace sts::exec::detail {
 
 AlignedBytes::AlignedBytes(std::size_t bytes) : size_(bytes) {
@@ -64,6 +66,10 @@ SlabPlan buildSlabPlan(const sparse::CsrMatrix& lower,
       p += slabRecordBytes(nnz);
     }
   }
+#if STS_CHECKS
+  check::enforce(check::validateSlabPlan(lower, lists, plan),
+                 "buildSlabPlan");
+#endif
   return plan;
 }
 

@@ -8,6 +8,7 @@
 #include "baselines/bsplist.hpp"
 #include "baselines/hdagg.hpp"
 #include "baselines/wavefront.hpp"
+#include "check/check.hpp"
 #include "core/coarsen.hpp"
 #include "exec/serial.hpp"
 #include "obs/trace.hpp"
@@ -112,6 +113,13 @@ TriangularSolver TriangularSolver::analyze(const CsrMatrix& matrix,
                              "invalid schedule: " + validation.message);
     }
   }
+#if STS_CHECKS
+  // Checked builds audit every analysis, not just validate-opted ones, and
+  // through the independent check:: re-derivation rather than the library's
+  // own validator (check/check.hpp).
+  check::enforce(check::validateSchedule(dag, solver.schedule_),
+                 "TriangularSolver::analyze");
+#endif
 
   const bool reorder = options.reorder &&
                        options.scheduler != SchedulerKind::kSpmp &&

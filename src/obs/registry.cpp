@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "base/sync.hpp"
+
 namespace sts::obs {
 
 double Histogram::bucketUpperBound(int idx) {
@@ -49,21 +51,21 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
@@ -80,7 +82,7 @@ std::string formatDouble(double v) {
 }  // namespace
 
 std::string Registry::renderText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     out += name;
@@ -105,7 +107,7 @@ std::string Registry::renderText() const {
 }
 
 std::string Registry::renderJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {

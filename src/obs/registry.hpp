@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "base/sync.hpp"
 
 /// \file registry.hpp
 /// Named-metric registry: counters, gauges and log-bucketed latency
@@ -140,12 +141,15 @@ class Registry {
   std::string renderJson() const;
 
  private:
-  mutable std::mutex mu_;
+  /// Guards the name->instrument maps only; the instruments themselves are
+  /// updated lock-free (atomics), which is why they are *not* GUARDED_BY.
+  mutable base::Mutex mu_;
   // std::map: stable iteration order for the exporters, pointer-stable
   // values (unique_ptr) so references survive rehash-free.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ STS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ STS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      STS_GUARDED_BY(mu_);
 };
 
 }  // namespace sts::obs

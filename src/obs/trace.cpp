@@ -22,8 +22,9 @@ std::size_t roundUpPow2(std::size_t n) {
 
 /// The single active session. Guarded by g_session_mu; the hot path never
 /// touches it (it checks g_trace_on and a thread-local generation).
-std::mutex g_session_mu;
-std::shared_ptr<TraceSession> g_session;  // NOLINT: intentional global
+base::Mutex g_session_mu;
+std::shared_ptr<TraceSession> g_session  // NOLINT: intentional global
+    STS_GUARDED_BY(g_session_mu);
 
 /// Per-thread cache of (session generation -> ring). The shared_ptr keeps
 /// the ring alive even if the session is stopped and dropped while this
@@ -74,7 +75,7 @@ TraceSession::TraceSession(TraceSessionOptions options)
 TraceSession::~TraceSession() { stop(); }
 
 std::shared_ptr<TraceSession> TraceSession::start(TraceSessionOptions options) {
-  std::lock_guard<std::mutex> lock(g_session_mu);
+  base::MutexLock lock(g_session_mu);
   if (g_session != nullptr && !g_session->stopped()) return g_session;
   g_session = std::shared_ptr<TraceSession>(new TraceSession(options));
   // Invalidate every thread's cached ring, then open the collection gate.
@@ -84,7 +85,7 @@ std::shared_ptr<TraceSession> TraceSession::start(TraceSessionOptions options) {
 }
 
 std::shared_ptr<TraceSession> TraceSession::current() {
-  std::lock_guard<std::mutex> lock(g_session_mu);
+  base::MutexLock lock(g_session_mu);
   return (g_session != nullptr && !g_session->stopped()) ? g_session : nullptr;
 }
 
@@ -94,14 +95,14 @@ void TraceSession::stop() {
                                         std::memory_order_acq_rel)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_session_mu);
+  base::MutexLock lock(g_session_mu);
   if (g_session.get() == this) {
     detail::g_trace_on.store(false, std::memory_order_release);
   }
 }
 
 std::shared_ptr<TraceRing> TraceSession::registerCurrentThread(int* tid_out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   ThreadSlot slot;
   slot.ring = std::make_shared<TraceRing>(options_.ring_capacity);
   threads_.push_back(slot);
@@ -117,18 +118,18 @@ void TraceSession::nameCurrentThread(const std::string& name) {
     // Force registration so the name has a track to land on.
     if (traceRingSlowPath() == nullptr) return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   const std::size_t tid = static_cast<std::size_t>(threadCache().tid);
   if (tid < threads_.size()) threads_[tid].name = name;
 }
 
 std::size_t TraceSession::numThreads() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return threads_.size();
 }
 
 std::uint64_t TraceSession::totalEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const ThreadSlot& t : threads_) {
     total += std::min<std::uint64_t>(t.ring->emitted(), t.ring->capacity());
@@ -137,7 +138,7 @@ std::uint64_t TraceSession::totalEvents() const {
 }
 
 std::uint64_t TraceSession::droppedEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const ThreadSlot& t : threads_) total += t.ring->dropped();
   return total;
@@ -175,7 +176,7 @@ void appendMicros(std::string& out, std::uint64_t ns) {
 }  // namespace
 
 std::string TraceSession::toJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::string out;
   out.reserve(1 << 16);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";

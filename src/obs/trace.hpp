@@ -5,9 +5,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "base/sync.hpp"
 
 /// \file trace.hpp
 /// Solve-path tracing: who spent how long where, inside a real solve.
@@ -201,8 +202,8 @@ class TraceSession {
     std::shared_ptr<TraceRing> ring;
     std::string name;
   };
-  mutable std::mutex mu_;
-  std::vector<ThreadSlot> threads_;
+  mutable base::Mutex mu_;
+  std::vector<ThreadSlot> threads_ STS_GUARDED_BY(mu_);
 };
 
 namespace detail {

@@ -287,7 +287,9 @@ TEST(ElasticSolve, OversubscribedAnalyzeClampsDefaultTeam) {
 
   const auto hw = static_cast<int>(std::thread::hardware_concurrency());
   EXPECT_GE(solver.defaultTeam(), 1);
-  if (hw > 0) EXPECT_LE(solver.defaultTeam(), hw);
+  if (hw > 0) {
+    EXPECT_LE(solver.defaultTeam(), hw);
+  }
   EXPECT_LE(solver.defaultTeam(), solver.numThreads());
 
   const auto x_true = exec::referenceSolution(lower.rows(), 42);
@@ -418,7 +420,7 @@ TEST(RequestQueueCompaction, CoalescesInOnePassPreservingFifo) {
   engine::RequestQueue queue;
   // A B A A B A — coalescing A must take the A's in order and leave B B A'
   // (budget 4 stops before the last A).
-  for (const auto [solver, nrhs] :
+  for (const auto& [solver, nrhs] :
        std::vector<std::pair<engine::SolverId, index_t>>{
            {0, 1}, {1, 1}, {0, 1}, {0, 1}, {1, 1}, {0, 1}}) {
     queue.push(makeRequest(solver, nrhs));
