@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "exec/tile.hpp"
 #include "harness/datasets.hpp"
 #include "obs/trace.hpp"
 
@@ -27,12 +28,24 @@ inline int envInt(const char* name, int fallback) {
 }
 
 /// Host metadata fields for the machine-readable bench outputs (no braces,
-/// ready to splice into a JSON object): core count and OpenMP width make
-/// cross-run and cross-host comparisons meaningful.
+/// ready to splice into a JSON object): core count, OpenMP width, and the
+/// detected cache geometry (exec::cacheGeometry — sysfs with conservative
+/// fallbacks, `cache_detected` telling the two apart). The geometry is what
+/// sized the tile path on this host and what tools/roofline.py uses to
+/// explain cache-resident >100% roofline fractions.
 inline std::string hostMetaJson() {
+  const exec::CacheGeometry& geo = exec::cacheGeometry();
   return "\"hardware_cores\":" +
          std::to_string(std::thread::hardware_concurrency()) +
-         ",\"omp_max_threads\":" + std::to_string(omp_get_max_threads());
+         ",\"omp_max_threads\":" + std::to_string(omp_get_max_threads()) +
+         ",\"cache_detected\":" + (geo.detected ? "true" : "false") +
+         ",\"l1d_bytes\":" + std::to_string(geo.l1d_bytes) +
+         ",\"l2_bytes\":" + std::to_string(geo.l2_bytes) +
+         ",\"l3_bytes\":" + std::to_string(geo.l3_bytes) +
+         ",\"cache_line_bytes\":" + std::to_string(geo.line_bytes) +
+         ",\"l1d_shared_cpus\":" + std::to_string(geo.l1d_shared_cpus) +
+         ",\"l2_shared_cpus\":" + std::to_string(geo.l2_shared_cpus) +
+         ",\"l3_shared_cpus\":" + std::to_string(geo.l3_shared_cpus);
 }
 
 inline void banner(const std::string& experiment, const std::string& paper_ref,

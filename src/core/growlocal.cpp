@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -103,6 +104,24 @@ class GrowLocalState {
     if (max == 0) return 1.0;
     return static_cast<double>(sum) /
            (static_cast<double>(opts_.num_cores) * static_cast<double>(max));
+  }
+
+  /// utilization() evaluated AFTER kBinPack-folding the trial's Ω vector
+  /// onto `target` slots (a one-superstep load table): the balance an
+  /// elastic solve at that width would actually see. A trial can look
+  /// balanced at full width yet fold into one overloaded slot — this is
+  /// the quantity the fold-aware acceptance tests against.
+  double foldedUtilization(int target) const {
+    if (target >= opts_.num_cores) return utilization();
+    const weight_t sum =
+        std::accumulate(omega_.begin(), omega_.end(), weight_t{0});
+    const auto map = foldRankMap(1, opts_.num_cores, target,
+                                 FoldPolicy::kBinPack, omega_);
+    const weight_t max =
+        foldedMakespan(omega_, 1, opts_.num_cores, target, map);
+    if (max == 0) return 1.0;
+    return static_cast<double>(sum) /
+           (static_cast<double>(target) * static_cast<double>(max));
   }
 
   /// Undo the last trial completely (back to the last barrier).
@@ -241,9 +260,36 @@ class GrowLocalState {
   index_t committed_count_ = 0;
 };
 
-}  // namespace
+/// True iff the trial's loads stay balanced after kBinPack-folding onto
+/// every requested target (vacuously true with no targets).
+bool foldBalanced(const GrowLocalState& state, const GrowLocalOptions& opts) {
+  for (const int target : opts.fold_targets) {
+    const int t = std::min(target, opts.num_cores);
+    if (state.foldedUtilization(t) < opts.min_utilization) return false;
+  }
+  return true;
+}
 
-Schedule growLocalSchedule(const Dag& dag, const GrowLocalOptions& opts) {
+/// The metric fold-aware scheduling competes on: summed folded BSP cost
+/// (compute makespan under kBinPack + L per barrier) across the requested
+/// targets plus the full width. The keep-better-of-two selection below
+/// makes fold-aware never lose to binpack-after-the-fact on this quantity
+/// by construction (the bench_fold_policies gate).
+double foldedBspCost(const Schedule& schedule, const GrowLocalOptions& opts,
+                     std::span<const weight_t> weights) {
+  std::vector<int> targets = opts.fold_targets;
+  targets.push_back(opts.num_cores);
+  double cost = 0.0;
+  for (const int raw : targets) {
+    const int t = std::clamp(raw, 1, schedule.numCores());
+    cost += static_cast<double>(
+                foldedMakespanAt(schedule, t, FoldPolicy::kBinPack, weights)) +
+            opts.sync_cost_l * static_cast<double>(schedule.numSupersteps());
+  }
+  return cost;
+}
+
+Schedule growLocalScheduleImpl(const Dag& dag, const GrowLocalOptions& opts) {
   if (opts.num_cores <= 0) {
     throw std::invalid_argument("growLocalSchedule: num_cores must be positive");
   }
@@ -280,7 +326,8 @@ Schedule growLocalSchedule(const Dag& dag, const GrowLocalOptions& opts) {
       const bool worthy =
           saved.empty() ||
           (beta >= opts.worthy_factor * best_beta &&
-           state.utilization() >= opts.min_utilization);
+           state.utilization() >= opts.min_utilization &&
+           foldBalanced(state, opts));
       if (worthy) {
         saved = state.trialAssignments();
         best_beta = std::max(best_beta, beta);
@@ -304,6 +351,30 @@ Schedule growLocalSchedule(const Dag& dag, const GrowLocalOptions& opts) {
     schedule = coalesceSupersteps(dag, schedule);
   }
   return schedule;
+}
+
+}  // namespace
+
+Schedule growLocalSchedule(const Dag& dag, const GrowLocalOptions& opts) {
+  if (opts.fold_targets.empty()) return growLocalScheduleImpl(dag, opts);
+  for (const int target : opts.fold_targets) {
+    if (target < 1) {
+      throw std::invalid_argument(
+          "growLocalSchedule: fold_targets entries must be >= 1");
+    }
+  }
+  // Keep the better of {fold-aware, plain} under the summed folded BSP
+  // cost: the fold-aware acceptance can only reject trials, which may cost
+  // extra barriers; this selection guarantees the feature never loses to
+  // plain scheduling + after-the-fact bin packing on the metric it targets.
+  GrowLocalOptions plain = opts;
+  plain.fold_targets.clear();
+  Schedule base = growLocalScheduleImpl(dag, plain);
+  Schedule aware = growLocalScheduleImpl(dag, opts);
+  return foldedBspCost(aware, opts, dag.weights()) <=
+                 foldedBspCost(base, opts, dag.weights())
+             ? std::move(aware)
+             : std::move(base);
 }
 
 }  // namespace sts::core

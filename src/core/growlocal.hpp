@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "core/schedule.hpp"
 #include "dag/dag.hpp"
 
@@ -50,6 +52,21 @@ struct GrowLocalOptions {
   /// (a barrier that synchronizes nothing); keeps serial regions such as
   /// dependency chains in a single superstep.
   bool coalesce_supersteps = true;
+
+  /// Fold-policy-aware acceptance: team widths the schedule is expected to
+  /// be folded onto at solve time (the elastic-serving contract,
+  /// exec/elastic.hpp). When non-empty, each trial's worthiness
+  /// additionally requires the trial's per-core loads to stay balanced
+  /// AFTER kBinPack folding onto every listed target — foldedMakespan on
+  /// the trial's one-superstep load table — so imbalance that no
+  /// after-the-fact rank packing can repair is rejected at schedule time.
+  /// The final schedule is then the better of {fold-aware, plain} by the
+  /// summed folded BSP cost Σ_t (foldedMakespanAt(·, t, kBinPack) +
+  /// L · numSupersteps) over targets ∪ {num_cores}, so enabling targets
+  /// never loses to binpack-after-the-fact on that metric (the
+  /// bench_fold_policies gate). Entries must be >= 1; values above
+  /// num_cores clamp to it. Empty (default) keeps the original test.
+  std::vector<int> fold_targets = {};
 };
 
 /// Runs GrowLocal on `dag`. Deterministic. Throws std::invalid_argument on

@@ -415,6 +415,9 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   const core::FoldPolicy fold_policy = solver.options().fold_policy;
   std::uint64_t pinned_threads = 0;
   std::uint64_t migrated_threads = 0;
+  bool tiled_batch = false;
+  double pack_elapsed = 0.0;
+  double unpack_elapsed = 0.0;
 
   std::vector<std::vector<double>> results;
   std::exception_ptr error;
@@ -441,12 +444,80 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
         if (request.nrhs == 1) {
           solver.solve(request.b, x, lease.context(), team, fold_policy,
                        storage);
+        } else if (options_.tiled) {
+          // A lone multi-RHS request still gains the tiled layout (the
+          // solver fuses its permute and pack passes internally).
+          tiled_batch = true;
+          solver.solveMultiRhsTiled(request.b, x, request.nrhs,
+                                    lease.context(), team, fold_policy,
+                                    storage);
         } else {
           solver.solveMultiRhs(request.b, x, request.nrhs, lease.context(),
                                team, fold_policy, storage);
         }
       }
       results.push_back(std::move(x));
+    } else if (options_.tiled) {
+      // Coalesced batch, tiled layout: the k request vectors are packed
+      // DIRECTLY into the solver's cache-sized column tiles — permutation
+      // fused into the pack, no intermediate row-major staging matrix —
+      // solved via the zero-copy solveTiles entry, then unpacked per tile
+      // into the per-request results.
+      total_rhs = static_cast<sts::index_t>(k);
+      tiled_batch = true;
+      const exec::TileLayout layout =
+          solver.tileLayout(static_cast<sts::index_t>(k));
+      const auto perm = solver.permutation();
+      const bool permuted = solver.isPermuted();
+      std::vector<double> b_tiled(n * k);
+      std::vector<double> x_tiled(n * k);
+      {
+        STS_TRACE_SPAN1("engine", "pack", "rhs", k);
+        const auto p0 = std::chrono::steady_clock::now();
+        for (std::size_t j = 0; j < k; ++j) {
+          const auto& b = batch[j].b;
+          const auto t = layout.tileOfCol(static_cast<sts::index_t>(j));
+          const auto c = static_cast<std::size_t>(
+              layout.colInTile(static_cast<sts::index_t>(j)));
+          const auto w = static_cast<std::size_t>(layout.tileWidth(t));
+          double* dst = b_tiled.data() + layout.tileOffset(t);
+          for (std::size_t i = 0; i < n; ++i) {
+            const auto row = permuted ? static_cast<std::size_t>(perm[i]) : i;
+            dst[i * w + c] = b[row];
+          }
+        }
+        pack_elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          p0)
+                .count();
+      }
+      {
+        STS_TRACE_SPAN1("engine", "solve", "team", team);
+        solver.solveTiles(b_tiled, x_tiled, layout, lease.context(), team,
+                          fold_policy, storage);
+      }
+      {
+        STS_TRACE_SPAN1("engine", "unpack", "rhs", k);
+        const auto u0 = std::chrono::steady_clock::now();
+        results.resize(k);
+        for (std::size_t j = 0; j < k; ++j) {
+          auto& x = results[j];
+          x.resize(n);
+          const auto t = layout.tileOfCol(static_cast<sts::index_t>(j));
+          const auto c = static_cast<std::size_t>(
+              layout.colInTile(static_cast<sts::index_t>(j)));
+          const auto w = static_cast<std::size_t>(layout.tileWidth(t));
+          const double* src = x_tiled.data() + layout.tileOffset(t);
+          for (std::size_t i = 0; i < n; ++i) {
+            const auto row = permuted ? static_cast<std::size_t>(perm[i]) : i;
+            x[row] = src[i * w + c];
+          }
+        }
+        unpack_elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          u0)
+                .count();
+      }
     } else {
       // Coalesced batch: k single-RHS requests become the k columns of one
       // row-major n x k SpTRSM — one schedule traversal for all of them.
@@ -455,10 +526,15 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
       std::vector<double> x_packed(n * k);
       {
         STS_TRACE_SPAN1("engine", "pack", "rhs", k);
+        const auto p0 = std::chrono::steady_clock::now();
         for (std::size_t j = 0; j < k; ++j) {
           const auto& b = batch[j].b;
           for (std::size_t i = 0; i < n; ++i) b_packed[i * k + j] = b[i];
         }
+        pack_elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          p0)
+                .count();
       }
       {
         STS_TRACE_SPAN1("engine", "solve", "team", team);
@@ -467,12 +543,16 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
                              team, fold_policy, storage);
       }
       STS_TRACE_SPAN1("engine", "unpack", "rhs", k);
+      const auto u0 = std::chrono::steady_clock::now();
       results.resize(k);
       for (std::size_t j = 0; j < k; ++j) {
         auto& x = results[j];
         x.resize(n);
         for (std::size_t i = 0; i < n; ++i) x[i] = x_packed[i * k + j];
       }
+      unpack_elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - u0)
+              .count();
     }
     // Read the pin outcome before the context returns to the pool (the
     // pool clears pin state on release so placements never leak).
@@ -510,7 +590,10 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   reg.pinned_threads += pinned_threads;
   reg.migrated_threads += migrated_threads;
   if (!error && storage == exec::StorageKind::kSlab) reg.slab_batches += 1;
+  if (!error && tiled_batch) reg.tiled_batches += 1;
   reg.busy_seconds += std::chrono::duration<double>(t1 - t0).count();
+  reg.pack_seconds += pack_elapsed;
+  reg.unpack_seconds += unpack_elapsed;
   reg.last_complete = t1;
   reg.saw_complete = true;
   if (error) {
@@ -537,6 +620,8 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
     row.max_wait_ns =
         std::max(row.max_wait_ns,
                  batch_trace.max_wait_ns.load(std::memory_order_relaxed));
+    row.pack_seconds += pack_elapsed;
+    row.unpack_seconds += unpack_elapsed;
   }
 #endif
   for (std::size_t j = 0; j < k; ++j) {
@@ -577,9 +662,12 @@ SolverServingStats SolverEngine::stats(SolverId id) const {
     out.pinned_threads = reg.pinned_threads;
     out.migrated_threads = reg.migrated_threads;
     out.slab_batches = reg.slab_batches;
+    out.tiled_batches = reg.tiled_batches;
     out.seeded_team = reg.seeded_team;
     out.slo_steps = reg.slo_steps;
     out.busy_seconds = reg.busy_seconds;
+    out.pack_seconds = reg.pack_seconds;
+    out.unpack_seconds = reg.unpack_seconds;
     if (reg.batches > 0) {
       out.mean_team_size = static_cast<double>(reg.team_size_accum) /
                            static_cast<double>(reg.batches);
@@ -622,6 +710,8 @@ std::vector<TraceSummaryRow> SolverEngine::traceSummary(SolverId id) const {
     row.compute_seconds = static_cast<double>(accum.compute_ns) * 1e-9;
     row.wait_seconds = static_cast<double>(accum.wait_ns) * 1e-9;
     row.max_wait_seconds = static_cast<double>(accum.max_wait_ns) * 1e-9;
+    row.pack_seconds = accum.pack_seconds;
+    row.unpack_seconds = accum.unpack_seconds;
     const double total = row.compute_seconds + row.wait_seconds;
     row.wait_fraction = total > 0.0 ? row.wait_seconds / total : 0.0;
     out.push_back(row);

@@ -177,6 +177,8 @@ class SolverEngine {
     std::uint64_t compute_ns = 0;
     std::uint64_t wait_ns = 0;
     std::uint64_t max_wait_ns = 0;
+    double pack_seconds = 0.0;
+    double unpack_seconds = 0.0;
   };
 
   struct Registered {
@@ -217,9 +219,12 @@ class SolverEngine {
     std::uint64_t pinned_threads STS_GUARDED_BY(stats_mu) = 0;
     std::uint64_t migrated_threads STS_GUARDED_BY(stats_mu) = 0;
     std::uint64_t slab_batches STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t tiled_batches STS_GUARDED_BY(stats_mu) = 0;
     std::uint64_t team_size_accum STS_GUARDED_BY(stats_mu) = 0;
     std::uint64_t slo_steps STS_GUARDED_BY(stats_mu) = 0;
     double busy_seconds STS_GUARDED_BY(stats_mu) = 0.0;
+    double pack_seconds STS_GUARDED_BY(stats_mu) = 0.0;
+    double unpack_seconds STS_GUARDED_BY(stats_mu) = 0.0;
     /// Controller input: recent latencies only (stats quantiles come from
     /// latency_hist, which never forgets — see obs/registry.hpp).
     SloWindow slo_window STS_GUARDED_BY(stats_mu);

@@ -36,6 +36,7 @@ using SolverId = std::uint32_t;
 /// | `pin_threads`          | WHERE the granted team executes | pins each team member to one leased id (auto-detects `core_set` from the process mask when empty); placement only — results stay bitwise identical |
 /// | `fold_policy` (solver) | HOW ranks map onto the granted width | kModulo / kBinPack; any width from the rules above executes losslessly |
 /// | `storage` (engine or solver) | WHAT memory layout the hot loop walks | engine `storage` overrides each solver's `SolverOptions::storage` when set; kSlab streams per-(team, policy) thread-local packed records, kSharedCsr walks the analyzed CSR. Layout only — results stay bitwise identical |
+/// | `tiled`                | HOW multi-RHS batches are laid out | on (default): coalesced batches pack straight into the solver's cache-sized column tiles (exec/tile.hpp) and run the tiled executor path — register-blocked CSR kernels, L2-resident RHS. off: the row-major solveMultiRhs path. Layout only — results stay bitwise identical; composes with every row above (`storage` picks the matrix side, `tiled` the RHS side) |
 /// | `trace`                | WHETHER batches attribute compute vs. wait | on (default): every batch arms a per-solve obs::SolveTrace so `traceSummary()` aggregates per-superstep compute/wait per (team, storage); executor threads batch the accounting locally and flush once per region. off: attribution idle (executors see a null sink — one branch per call site). Independent of the process-wide obs::TraceSession (Perfetto spans), which any thread can start regardless. Orthogonal to all rows above — tracing never changes results (bitwise) |
 ///
 /// Pipeline per batch: elastic policy picks a DESIRED width → CoreBudget
@@ -125,6 +126,15 @@ struct EngineOptions {
   /// `elastic`; off by default because it doubles the per-batch staging
   /// memory and coalesced-request latency envelope `max_batch` implies.
   bool adaptive_batch = false;
+  /// Execute multi-RHS batches through the tiled path: requests are packed
+  /// DIRECTLY into the solver's cache-sized column tiles (exec/tile.hpp,
+  /// permutation fused into the pack — no intermediate row-major staging)
+  /// and solved via TriangularSolver::solveTiles, then unpacked per tile
+  /// into the per-request result vectors. Single-RHS batches are unaffected
+  /// (one column is its own tile). Pure layout choice — bitwise identical
+  /// results; tiled batches count in SolverServingStats::tiled_batches and
+  /// the pack/unpack passes in pack_seconds / unpack_seconds.
+  bool tiled = true;
   /// Arm per-batch compute-vs-wait attribution (obs::SolveTrace on the
   /// leased context): `traceSummary()` then reports per-superstep compute
   /// and barrier/p2p-wait time per (team, storage) combination. The cost
@@ -179,6 +189,16 @@ struct SolverServingStats {
   /// Batches executed on the slab (thread-local packed) storage layout —
   /// EngineOptions::storage override or the solver's own default.
   std::uint64_t slab_batches = 0;
+  /// Multi-RHS batches executed through the tiled layout
+  /// (EngineOptions::tiled): packed straight into column tiles and solved
+  /// via solveTiles.
+  std::uint64_t tiled_batches = 0;
+  /// Summed wall time spent packing request vectors into the batch layout
+  /// (row-major or tiled) before the solve, per solver.
+  double pack_seconds = 0.0;
+  /// Summed wall time spent unpacking the solved batch back into
+  /// per-request result vectors.
+  double unpack_seconds = 0.0;
   /// The SLO controller's cold-start team: seeded at registerSolver time
   /// from the analyze-time cost model (a probe solve scaled by folded
   /// makespan ratios) so the first window is not blindly served at the
@@ -214,6 +234,11 @@ struct TraceSummaryRow {
   std::uint64_t thread_steps = 0;  ///< (superstep, thread) pairs executed
   double compute_seconds = 0.0;    ///< summed per-thread compute time
   double wait_seconds = 0.0;       ///< summed barrier/p2p wait time
+  /// Engine-side RHS staging cost of these batches (the pack into the
+  /// batch layout and the unpack back into per-request vectors) — the copy
+  /// overhead the tiled direct-pack path exists to shrink.
+  double pack_seconds = 0.0;
+  double unpack_seconds = 0.0;
   /// Longest single barrier/p2p wait any thread saw (straggler signal).
   double max_wait_seconds = 0.0;
   /// wait / (compute + wait); 0 when nothing was measured.

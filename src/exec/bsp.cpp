@@ -49,6 +49,38 @@ void slabSuperstepRegion(const detail::SlabPlan& plan, index_t steps,
   }
 }
 
+/// Tiled sibling of slabSuperstepRegion: each superstep's record run is
+/// replayed once per RHS column tile (forEachSlabRecordTiled) before the
+/// barrier, so the barrier count stays one per superstep regardless of
+/// tile count. The kernel receives (record, tile index).
+template <typename NotePinFn, typename KernelFn>
+void slabSuperstepRegionTiled(const detail::SlabPlan& plan, index_t steps,
+                              index_t tiles, int team,
+                              std::span<const int> pin_set,
+                              SpinBarrier& barrier, obs::SolveTrace* sink,
+                              NotePinFn&& note_pin, KernelFn&& kernel) {
+  const bool sync = team > 1;
+  omp_set_dynamic(0);
+#pragma omp parallel num_threads(team)
+  {
+    const auto t = static_cast<size_t>(omp_get_thread_num());
+    const ScopedPin pin(pin_set, static_cast<int>(t));
+    note_pin(pin);
+    obs::StepTracer tracer(sink);
+    std::uint64_t step = 0;
+    int sense = barrier.initialSense();
+    detail::forEachSlabRecordTiled(plan.threads[t], steps, tiles, kernel,
+                                   [&] {
+                                     tracer.computeDone(step);
+                                     if (sync) {
+                                       barrier.wait(sense, team);
+                                       tracer.waitDone(step);
+                                     }
+                                     ++step;
+                                   });
+  }
+}
+
 }  // namespace
 
 BspExecutor::BspExecutor(const CsrMatrix& lower, const Schedule& schedule)
@@ -255,6 +287,92 @@ void BspExecutor::solveMultiRhs(std::span<const double> b,
       }
     }
   }
+}
+
+void BspExecutor::solveMultiRhsTiled(std::span<const double> b,
+                                     std::span<double> x,
+                                     const TileLayout& layout,
+                                     SolveContext& ctx, int team,
+                                     core::FoldPolicy policy,
+                                     StorageKind storage) const {
+  requireTileShapes(lower_.rows(), layout, b, x,
+                    "BspExecutor::solveMultiRhsTiled");
+  if (storage == StorageKind::kSlab) {
+    solveMultiRhsTiledSlab(b, x, layout, ctx, team, policy);
+    return;
+  }
+  detail::requireTeamSize(team, num_threads_,
+                          "BspExecutor::solveMultiRhsTiled");
+  ctx.requireShape(team, lower_.rows(), "BspExecutor::solveMultiRhsTiled");
+  const detail::FoldedLists& plan = foldedPlan(team, policy);
+  const auto row_ptr = lower_.rowPtr();
+  const auto col_idx = lower_.colIdx();
+  const auto values = lower_.values();
+  const index_t steps = num_supersteps_;
+  const bool sync = team > 1;
+  const TileViews tiles = makeTileViews(layout, b, x);
+  const std::size_t ntiles = tiles.width.size();
+  const std::span<const int> pin_set = ctx.pinnedCores();
+  SpinBarrier& barrier = ctx.barrier_;
+
+  omp_set_dynamic(0);
+#pragma omp parallel num_threads(team)
+  {
+    const auto t = static_cast<size_t>(omp_get_thread_num());
+    const ScopedPin pin(pin_set, static_cast<int>(t));
+    ctx.notePin(pin);
+    obs::StepTracer tracer(ctx.trace());
+    int sense = barrier.initialSense();
+    const auto& verts = plan.verts[t];
+    const auto& ptr = plan.step_ptr[t];
+    for (index_t s = 0; s < steps; ++s) {
+      const auto begin = static_cast<size_t>(ptr[static_cast<size_t>(s)]);
+      const auto end = static_cast<size_t>(ptr[static_cast<size_t>(s) + 1]);
+      for (std::size_t tk = 0; tk < ntiles; ++tk) {
+        const auto bt = tiles.b[tk];
+        const auto xt = tiles.x[tk];
+        const auto w = tiles.width[tk];
+        for (size_t k = begin; k < end; ++k) {
+          detail::computeRowMultiTiled(row_ptr, col_idx, values, bt, xt,
+                                       verts[k], w);
+        }
+      }
+      tracer.computeDone(static_cast<std::uint64_t>(s));
+      if (sync) {
+        barrier.wait(sense, team);
+        tracer.waitDone(static_cast<std::uint64_t>(s));
+      }
+    }
+  }
+}
+
+void BspExecutor::solveMultiRhsTiledSlab(std::span<const double> b,
+                                         std::span<double> x,
+                                         const TileLayout& layout,
+                                         SolveContext& ctx, int team,
+                                         core::FoldPolicy policy) const {
+  detail::requireTeamSize(team, num_threads_,
+                          "BspExecutor::solveMultiRhsTiled");
+  ctx.requireShape(team, lower_.rows(), "BspExecutor::solveMultiRhsTiled");
+  const TileViews tiles = makeTileViews(layout, b, x);
+  slabSuperstepRegionTiled(
+      slabPlan(team, policy), num_supersteps_, layout.numTiles(), team,
+      ctx.pinnedCores(), ctx.barrier_, ctx.trace(),
+      [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
+      [&](const detail::SlabRecordView& rec, index_t tile) {
+        const auto tk = static_cast<std::size_t>(tile);
+        detail::computeRowMultiPacked(rec.cols, rec.vals, rec.nnz, rec.diag,
+                                      tiles.b[tk], tiles.x[tk], rec.row,
+                                      tiles.width[tk]);
+      });
+}
+
+std::size_t BspExecutor::storageBytesMoved(int team, core::FoldPolicy policy,
+                                           StorageKind storage) const {
+  if (storage == StorageKind::kSlab) {
+    return detail::slabBytesMoved(slabPlan(team, policy));
+  }
+  return csrBytesMoved(lower_.rows(), lower_.nnz());
 }
 
 void BspExecutor::solveMultiRhs(std::span<const double> b,
@@ -612,6 +730,128 @@ void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,
       }
     }
   }
+}
+
+void ContiguousBspExecutor::solveMultiRhsTiled(std::span<const double> b,
+                                               std::span<double> x,
+                                               const TileLayout& layout,
+                                               SolveContext& ctx, int team,
+                                               core::FoldPolicy policy,
+                                               StorageKind storage) const {
+  requireTileShapes(lower_.rows(), layout, b, x,
+                    "ContiguousBspExecutor::solveMultiRhsTiled");
+  if (storage == StorageKind::kSlab) {
+    solveMultiRhsTiledSlab(b, x, layout, ctx, team, policy);
+    return;
+  }
+  detail::requireTeamSize(team, num_threads_,
+                          "ContiguousBspExecutor::solveMultiRhsTiled");
+  ctx.requireShape(team, lower_.rows(),
+                   "ContiguousBspExecutor::solveMultiRhsTiled");
+  const auto row_ptr = lower_.rowPtr();
+  const auto col_idx = lower_.colIdx();
+  const auto values = lower_.values();
+  const index_t steps = num_supersteps_;
+  const bool sync = team > 1;
+  const TileViews tiles = makeTileViews(layout, b, x);
+  const std::size_t ntiles = tiles.width.size();
+  const std::span<const int> pin_set = ctx.pinnedCores();
+  SpinBarrier& barrier = ctx.barrier_;
+
+  omp_set_dynamic(0);
+  if (team == num_threads_) {
+    const int cores = num_threads_;
+#pragma omp parallel num_threads(cores)
+    {
+      const int t = omp_get_thread_num();
+      const ScopedPin pin(pin_set, t);
+      ctx.notePin(pin);
+      obs::StepTracer tracer(ctx.trace());
+      int sense = barrier.initialSense();
+      for (index_t s = 0; s < steps; ++s) {
+        const size_t g = static_cast<size_t>(s) * static_cast<size_t>(cores) +
+                         static_cast<size_t>(t);
+        const auto lo = static_cast<index_t>(group_ptr_[g]);
+        const auto hi = static_cast<index_t>(group_ptr_[g + 1]);
+        for (std::size_t tk = 0; tk < ntiles; ++tk) {
+          const auto bt = tiles.b[tk];
+          const auto xt = tiles.x[tk];
+          const auto w = tiles.width[tk];
+          for (index_t i = lo; i < hi; ++i) {
+            detail::computeRowMultiTiled(row_ptr, col_idx, values, bt, xt, i,
+                                         w);
+          }
+        }
+        tracer.computeDone(static_cast<std::uint64_t>(s));
+        if (sync) {
+          barrier.wait(sense, team);
+          tracer.waitDone(static_cast<std::uint64_t>(s));
+        }
+      }
+    }
+    return;
+  }
+
+  const FoldedRanges& plan = foldedPlan(team, policy);
+#pragma omp parallel num_threads(team)
+  {
+    const int t = omp_get_thread_num();
+    const ScopedPin pin(pin_set, t);
+    ctx.notePin(pin);
+    obs::StepTracer tracer(ctx.trace());
+    int sense = barrier.initialSense();
+    for (index_t s = 0; s < steps; ++s) {
+      const size_t g = static_cast<size_t>(s) * static_cast<size_t>(team) +
+                       static_cast<size_t>(t);
+      const auto begin = static_cast<size_t>(plan.range_ptr[g]);
+      const auto end = static_cast<size_t>(plan.range_ptr[g + 1]);
+      for (std::size_t tk = 0; tk < ntiles; ++tk) {
+        const auto bt = tiles.b[tk];
+        const auto xt = tiles.x[tk];
+        const auto w = tiles.width[tk];
+        for (size_t k = begin; k < end; ++k) {
+          const auto [lo, hi] = plan.ranges[k];
+          for (index_t i = lo; i < hi; ++i) {
+            detail::computeRowMultiTiled(row_ptr, col_idx, values, bt, xt, i,
+                                         w);
+          }
+        }
+      }
+      tracer.computeDone(static_cast<std::uint64_t>(s));
+      if (sync) {
+        barrier.wait(sense, team);
+        tracer.waitDone(static_cast<std::uint64_t>(s));
+      }
+    }
+  }
+}
+
+void ContiguousBspExecutor::solveMultiRhsTiledSlab(
+    std::span<const double> b, std::span<double> x, const TileLayout& layout,
+    SolveContext& ctx, int team, core::FoldPolicy policy) const {
+  detail::requireTeamSize(team, num_threads_,
+                          "ContiguousBspExecutor::solveMultiRhsTiled");
+  ctx.requireShape(team, lower_.rows(),
+                   "ContiguousBspExecutor::solveMultiRhsTiled");
+  const TileViews tiles = makeTileViews(layout, b, x);
+  slabSuperstepRegionTiled(
+      slabPlan(team, policy), num_supersteps_, layout.numTiles(), team,
+      ctx.pinnedCores(), ctx.barrier_, ctx.trace(),
+      [&ctx](const ScopedPin& pin) { ctx.notePin(pin); },
+      [&](const detail::SlabRecordView& rec, index_t tile) {
+        const auto tk = static_cast<std::size_t>(tile);
+        detail::computeRowMultiPacked(rec.cols, rec.vals, rec.nnz, rec.diag,
+                                      tiles.b[tk], tiles.x[tk], rec.row,
+                                      tiles.width[tk]);
+      });
+}
+
+std::size_t ContiguousBspExecutor::storageBytesMoved(
+    int team, core::FoldPolicy policy, StorageKind storage) const {
+  if (storage == StorageKind::kSlab) {
+    return detail::slabBytesMoved(slabPlan(team, policy));
+  }
+  return csrBytesMoved(lower_.rows(), lower_.nnz());
 }
 
 void ContiguousBspExecutor::solveMultiRhs(std::span<const double> b,

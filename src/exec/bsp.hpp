@@ -9,6 +9,7 @@
 #include "exec/slab.hpp"
 #include "exec/solve_context.hpp"
 #include "exec/storage.hpp"
+#include "exec/tile.hpp"
 #include "sparse/csr.hpp"
 
 /// \file bsp.hpp
@@ -87,6 +88,22 @@ class BspExecutor {
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs) const;
 
+  /// Tiled SpTRSM: B and X are packed as `layout` column tiles (tile.hpp).
+  /// One parallel region runs the per-superstep row loop once per tile —
+  /// still one barrier per superstep regardless of tile count, and the CSR
+  /// walk gains the register-blocked kernel (computeRowMultiTiled). Column
+  /// tileBegin(t) + c of the unpacked result is bitwise equal to
+  /// solveMultiRhs's column.
+  void solveMultiRhsTiled(std::span<const double> b, std::span<double> x,
+                          const TileLayout& layout, SolveContext& ctx,
+                          int team, core::FoldPolicy policy,
+                          StorageKind storage) const;
+
+  /// Matrix bytes one full sweep of `storage` streams (builds the slab
+  /// plan on demand); the plans' side of the roofline byte model.
+  std::size_t storageBytesMoved(int team, core::FoldPolicy policy,
+                                StorageKind storage) const;
+
   /// A fresh context shaped for this executor.
   std::unique_ptr<SolveContext> createContext() const {
     return std::make_unique<SolveContext>(num_threads_, lower_.rows());
@@ -108,6 +125,9 @@ class BspExecutor {
   void solveMultiRhsSlab(std::span<const double> b, std::span<double> x,
                          index_t nrhs, SolveContext& ctx, int team,
                          core::FoldPolicy policy) const;
+  void solveMultiRhsTiledSlab(std::span<const double> b, std::span<double> x,
+                              const TileLayout& layout, SolveContext& ctx,
+                              int team, core::FoldPolicy policy) const;
 
   const CsrMatrix& lower_;
   int num_threads_ = 0;
@@ -165,6 +185,19 @@ class ContiguousBspExecutor {
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs) const;
 
+  /// Tiled SpTRSM over the contiguous row ranges: same contract as
+  /// BspExecutor::solveMultiRhsTiled (one barrier per superstep, tile loop
+  /// inside, bitwise per column).
+  void solveMultiRhsTiled(std::span<const double> b, std::span<double> x,
+                          const TileLayout& layout, SolveContext& ctx,
+                          int team, core::FoldPolicy policy,
+                          StorageKind storage) const;
+
+  /// Matrix bytes one full sweep of `storage` streams (builds the slab
+  /// plan on demand); the plans' side of the roofline byte model.
+  std::size_t storageBytesMoved(int team, core::FoldPolicy policy,
+                                StorageKind storage) const;
+
   std::unique_ptr<SolveContext> createContext() const {
     return std::make_unique<SolveContext>(num_threads_, lower_.rows());
   }
@@ -193,6 +226,9 @@ class ContiguousBspExecutor {
   void solveMultiRhsSlab(std::span<const double> b, std::span<double> x,
                          index_t nrhs, SolveContext& ctx, int team,
                          core::FoldPolicy policy) const;
+  void solveMultiRhsTiledSlab(std::span<const double> b, std::span<double> x,
+                              const TileLayout& layout, SolveContext& ctx,
+                              int team, core::FoldPolicy policy) const;
 
   const CsrMatrix& lower_;
   index_t num_supersteps_ = 0;

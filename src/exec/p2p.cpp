@@ -327,6 +327,84 @@ void P2pExecutor::solveMultiRhs(std::span<const double> b,
   acquireTeamWrites(plan, done, epoch);
 }
 
+void P2pExecutor::solveMultiRhsTiled(std::span<const double> b,
+                                     std::span<double> x,
+                                     const TileLayout& layout,
+                                     SolveContext& ctx, int team,
+                                     core::FoldPolicy policy,
+                                     StorageKind storage) const {
+  requireTileShapes(lower_.rows(), layout, b, x,
+                    "P2pExecutor::solveMultiRhsTiled");
+  detail::requireTeamSize(team, num_threads_,
+                          "P2pExecutor::solveMultiRhsTiled");
+  ctx.requireShape(team, lower_.rows(), "P2pExecutor::solveMultiRhsTiled");
+  // One full pass per tile, each under its own epoch: the flags cannot
+  // track partial-tile completion, and re-resolving the (sparsified)
+  // dependency structure per tile is the price of the cache-resident tile.
+  const index_t ntiles = layout.numTiles();
+  for (index_t t = 0; t < ntiles; ++t) {
+    const auto bt = layout.tileSpan(b, t);
+    const auto xt = layout.tileSpan(x, t);
+    const index_t w = layout.tileWidth(t);
+    if (storage == StorageKind::kSlab) {
+      solveMultiRhsSlab(bt, xt, w, ctx, team, policy);
+    } else {
+      solveTileCsrPass(bt, xt, static_cast<std::size_t>(w), ctx, team,
+                       policy);
+    }
+  }
+}
+
+void P2pExecutor::solveTileCsrPass(std::span<const double> b_tile,
+                                   std::span<double> x_tile, std::size_t w,
+                                   SolveContext& ctx, int team,
+                                   core::FoldPolicy policy) const {
+  const detail::FoldedLists& plan = foldedPlan(team, policy);
+  const auto row_ptr = lower_.rowPtr();
+  const auto col_idx = lower_.colIdx();
+  const auto values = lower_.values();
+  const std::uint32_t epoch = ctx.beginP2pEpoch();
+  const std::span<const int> pin_set = ctx.pinnedCores();
+  std::atomic<std::uint32_t>* const done = ctx.done_.get();
+
+  // A dynamically shrunk team would strand the spin-waits on vertices of
+  // the missing threads; pin the team size like the BSP paths do.
+  omp_set_dynamic(0);
+#pragma omp parallel num_threads(team)
+  {
+    const auto t = static_cast<size_t>(omp_get_thread_num());
+    const ScopedPin pin(pin_set, static_cast<int>(t));
+    ctx.notePin(pin);
+    obs::StepTracer tracer(ctx.trace());
+    const auto& verts = plan.verts[t];
+    for (const index_t i : verts) {
+      for (offset_t k = wait_ptr_[static_cast<size_t>(i)];
+           k < wait_ptr_[static_cast<size_t>(i) + 1]; ++k) {
+        const auto u = static_cast<size_t>(wait_adj_[static_cast<size_t>(k)]);
+        if (done[u].load(std::memory_order_acquire) != epoch) {
+          tracer.spinBegin();
+          while (done[u].load(std::memory_order_acquire) != epoch) {
+          }
+          tracer.spinEnd(static_cast<std::uint64_t>(i));
+        }
+      }
+      detail::computeRowMultiTiled(row_ptr, col_idx, values, b_tile, x_tile,
+                                   i, w);
+      done[static_cast<size_t>(i)].store(epoch, std::memory_order_release);
+    }
+    tracer.finishP2p(static_cast<std::uint64_t>(num_supersteps_));
+  }
+  acquireTeamWrites(plan, done, epoch);
+}
+
+std::size_t P2pExecutor::storageBytesMoved(int team, core::FoldPolicy policy,
+                                           StorageKind storage) const {
+  if (storage == StorageKind::kSlab) {
+    return detail::slabBytesMoved(slabPlan(team, policy));
+  }
+  return csrBytesMoved(lower_.rows(), lower_.nnz());
+}
+
 void P2pExecutor::solveMultiRhs(std::span<const double> b,
                                 std::span<double> x, index_t nrhs,
                                 SolveContext& ctx, int team) const {

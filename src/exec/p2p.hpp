@@ -10,6 +10,7 @@
 #include "exec/slab.hpp"
 #include "exec/solve_context.hpp"
 #include "exec/storage.hpp"
+#include "exec/tile.hpp"
 #include "sparse/csr.hpp"
 
 /// \file p2p.hpp
@@ -84,6 +85,25 @@ class P2pExecutor {
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs) const;
 
+  /// Tiled SpTRSM: B and X are packed as `layout` column tiles (tile.hpp).
+  /// The completion flags are epoch-granular — they cannot express "row i
+  /// done for tile t" — so the executor runs one full dependency-resolved
+  /// pass per tile, each under a fresh epoch. That trades extra flag
+  /// traffic for the cache-resident tile operand and the register-blocked
+  /// CSR kernel; column tileBegin(t) + c of the unpacked result is bitwise
+  /// equal to solveMultiRhs's column.
+  void solveMultiRhsTiled(std::span<const double> b, std::span<double> x,
+                          const TileLayout& layout, SolveContext& ctx,
+                          int team, core::FoldPolicy policy,
+                          StorageKind storage) const;
+
+  /// Matrix bytes one full sweep of `storage` streams (builds the slab
+  /// plan on demand); the plans' side of the roofline byte model. The
+  /// tiled walk re-streams this once per tile AND per pass (the P2P tile
+  /// loop is outermost).
+  std::size_t storageBytesMoved(int team, core::FoldPolicy policy,
+                                StorageKind storage) const;
+
   std::unique_ptr<SolveContext> createContext() const {
     return std::make_unique<SolveContext>(num_threads_, lower_.rows());
   }
@@ -105,6 +125,13 @@ class P2pExecutor {
   void solveMultiRhsSlab(std::span<const double> b, std::span<double> x,
                          index_t nrhs, SolveContext& ctx, int team,
                          core::FoldPolicy policy) const;
+  /// One dependency-resolved shared-CSR pass over a single n x w tile
+  /// under a fresh epoch (the register-blocked per-tile leg of
+  /// solveMultiRhsTiled).
+  void solveTileCsrPass(std::span<const double> b_tile,
+                        std::span<double> x_tile, std::size_t w,
+                        SolveContext& ctx, int team,
+                        core::FoldPolicy policy) const;
 
   const CsrMatrix& lower_;
   int num_threads_ = 0;

@@ -137,6 +137,27 @@ inline void computeRowMultiPacked(const index_t* cols, const double* vals,
   for (std::size_t cc = c; cc < r; ++cc) xi[cc] /= diag;
 }
 
+/// Tiled multi-RHS substitution step over one RHS column tile: `b_tile`
+/// and `x_tile` are a contiguous n x w row-major tile (TileLayout,
+/// tile.hpp) and `w` its width. Slices the CSR row at row_ptr and runs the
+/// register-blocked packed kernel on it — the shared-CSR analogue of the
+/// slab walk's computeRowMultiPacked, giving the CSR tile loop the same
+/// across-column vectorization. Column c of the tile is bitwise equal to
+/// computeRowMulti's column tileBegin + c because blocking never reorders
+/// a single column's operations (the file-top contract).
+inline void computeRowMultiTiled(std::span<const offset_t> row_ptr,
+                                 std::span<const index_t> col_idx,
+                                 std::span<const double> values,
+                                 std::span<const double> b_tile,
+                                 std::span<double> x_tile, index_t i,
+                                 std::size_t w) {
+  const auto begin = static_cast<size_t>(row_ptr[static_cast<size_t>(i)]);
+  const auto diag =
+      static_cast<size_t>(row_ptr[static_cast<size_t>(i) + 1]) - 1;
+  computeRowMultiPacked(col_idx.data() + begin, values.data() + begin,
+                        diag - begin, values[diag], b_tile, x_tile, i, w);
+}
+
 inline void requireVectorSizes(const sparse::CsrMatrix& lower,
                                std::span<const double> b,
                                std::span<double> x, index_t nrhs,

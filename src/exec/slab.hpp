@@ -164,4 +164,45 @@ inline void forEachSlabRecord(const SlabThread& slab, sts::index_t num_steps,
   }
 }
 
+/// The tiled slab walk: like forEachSlabRecord, but each superstep's
+/// record run is replayed once per RHS column tile (`row(rec, tile)`)
+/// before the superstep ends. The replay rewinds the stream pointer to
+/// the superstep's first record, so the matrix bytes are re-streamed per
+/// tile while the dense tile stays cache-resident — the tiling trade
+/// (tile.hpp). Record order within a tile is identical to the untiled
+/// walk, so the bitwise contract carries over per tile.
+template <typename RowFn, typename EndStepFn>
+inline void forEachSlabRecordTiled(const SlabThread& slab,
+                                   sts::index_t num_steps,
+                                   sts::index_t num_tiles, RowFn&& row,
+                                   EndStepFn&& end_step) {
+  const std::byte* p = slab.bytes.data();
+  const auto& ptr = slab.step_ptr;
+  for (sts::index_t s = 0; s < num_steps; ++s) {
+    const auto count =
+        static_cast<std::size_t>(ptr[static_cast<std::size_t>(s) + 1] -
+                                 ptr[static_cast<std::size_t>(s)]);
+    const std::byte* const step_begin = p;
+    for (sts::index_t tile = 0; tile < num_tiles; ++tile) {
+      p = step_begin;
+      for (std::size_t k = 0; k < count; ++k) {
+        const SlabRecordView rec = slabRecordAt(p);
+        STS_SLAB_PREFETCH(rec.next);
+        row(rec, tile);
+        p = rec.next;
+      }
+    }
+    end_step();
+  }
+}
+
+/// Bytes one full sweep streams from the plan's record slabs (summed over
+/// threads); the slab side of the bytesMoved() accounting tools/roofline.py
+/// consumes. Tiled walks re-stream this once per tile.
+inline std::size_t slabBytesMoved(const SlabPlan& plan) {
+  std::size_t total = 0;
+  for (const auto& thread : plan.threads) total += thread.bytes.size();
+  return total;
+}
+
 }  // namespace sts::exec::detail

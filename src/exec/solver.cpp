@@ -284,6 +284,92 @@ void TriangularSolver::solveMultiRhs(std::span<const double> b,
   solveMultiRhs(b, x, nrhs, defaultContext(), default_team_);
 }
 
+TileLayout TriangularSolver::tileLayout(index_t nrhs,
+                                        index_t tile_cols) const {
+  const index_t width = tile_cols > 0        ? tile_cols
+                        : options_.tile_cols > 0 ? options_.tile_cols
+                                                 : pickTileCols(n_);
+  return TileLayout(n_, nrhs, width);
+}
+
+void TriangularSolver::solveMultiRhsTiled(std::span<const double> b,
+                                          std::span<double> x, index_t nrhs,
+                                          SolveContext& ctx, int threads,
+                                          core::FoldPolicy policy,
+                                          StorageKind storage) const {
+  const auto n = static_cast<size_t>(n_);
+  if (nrhs <= 0 || b.size() != n * static_cast<size_t>(nrhs) ||
+      x.size() != b.size()) {
+    throw std::invalid_argument(
+        "TriangularSolver::solveMultiRhsTiled: size mismatch");
+  }
+  const int team = clampTeam(threads);
+  const TileLayout layout = tileLayout(nrhs);
+  const auto r = static_cast<size_t>(nrhs);
+  auto b_tiled = ctx.bScratch(n * r);
+  auto x_tiled = ctx.xScratch(n * r);
+  // Fused permute + pack: one pass builds each tile directly from the
+  // original-order rows (identity permutation when not reordered).
+  for (index_t t = 0; t < layout.numTiles(); ++t) {
+    const auto w = static_cast<size_t>(layout.tileWidth(t));
+    const auto c0 = static_cast<size_t>(layout.tileBegin(t));
+    double* dst = b_tiled.data() + layout.tileOffset(t);
+    for (size_t i = 0; i < n; ++i) {
+      const auto row =
+          permuted_ ? static_cast<size_t>(total_new_to_old_[i]) : i;
+      const double* src = b.data() + row * r + c0;
+      for (size_t c = 0; c < w; ++c) dst[i * w + c] = src[c];
+    }
+  }
+  solveTiles(b_tiled, x_tiled, layout, ctx, team, policy, storage);
+  // Fused unpack + unpermute.
+  for (index_t t = 0; t < layout.numTiles(); ++t) {
+    const auto w = static_cast<size_t>(layout.tileWidth(t));
+    const auto c0 = static_cast<size_t>(layout.tileBegin(t));
+    const double* src = x_tiled.data() + layout.tileOffset(t);
+    for (size_t i = 0; i < n; ++i) {
+      const auto row =
+          permuted_ ? static_cast<size_t>(total_new_to_old_[i]) : i;
+      double* dst = x.data() + row * r + c0;
+      for (size_t c = 0; c < w; ++c) dst[c] = src[i * w + c];
+    }
+  }
+}
+
+void TriangularSolver::solveMultiRhsTiled(std::span<const double> b,
+                                          std::span<double> x, index_t nrhs,
+                                          SolveContext& ctx) const {
+  solveMultiRhsTiled(b, x, nrhs, ctx, default_team_, options_.fold_policy,
+                     options_.storage);
+}
+
+void TriangularSolver::solveTiles(std::span<const double> b_tiled,
+                                  std::span<double> x_tiled,
+                                  const TileLayout& layout, SolveContext& ctx,
+                                  int threads, core::FoldPolicy policy,
+                                  StorageKind storage) const {
+  const int team = clampTeam(threads);
+  if (contiguous_) {
+    contiguous_->solveMultiRhsTiled(b_tiled, x_tiled, layout, ctx, team,
+                                    policy, storage);
+  } else if (p2p_) {
+    p2p_->solveMultiRhsTiled(b_tiled, x_tiled, layout, ctx, team, policy,
+                             storage);
+  } else {
+    bsp_->solveMultiRhsTiled(b_tiled, x_tiled, layout, ctx, team, policy,
+                             storage);
+  }
+}
+
+std::size_t TriangularSolver::storageBytesMoved(int threads,
+                                                core::FoldPolicy policy,
+                                                StorageKind storage) const {
+  const int team = clampTeam(threads);
+  if (contiguous_) return contiguous_->storageBytesMoved(team, policy, storage);
+  if (p2p_) return p2p_->storageBytesMoved(team, policy, storage);
+  return bsp_->storageBytesMoved(team, policy, storage);
+}
+
 void TriangularSolver::solvePermuted(std::span<const double> b,
                                      std::span<double> x, SolveContext& ctx,
                                      int threads, core::FoldPolicy policy,

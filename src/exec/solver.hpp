@@ -129,6 +129,12 @@ struct SolverOptions {
   /// (team, fold policy) like the folded plans — storage.hpp). Bitwise
   /// identical results either way.
   StorageKind storage = StorageKind::kSharedCsr;
+  /// RHS column-tile width of the tiled multi-RHS path (tile.hpp); 0 sizes
+  /// it automatically from the detected cache geometry (pickTileCols,
+  /// overridable by STS_TILE_COLS). Explicit tileLayout() arguments
+  /// override this per call. Tiling is a pure layout choice — results stay
+  /// bitwise identical for every width.
+  index_t tile_cols = 0;
 };
 
 /// The analyze-once product: an immutable bundle of (normalized matrix,
@@ -184,6 +190,36 @@ class TriangularSolver {
                      index_t nrhs, SolveContext& ctx) const;
   void solveMultiRhs(std::span<const double> b, std::span<double> x,
                      index_t nrhs) const;
+
+  /// Tiled SpTRSM: like solveMultiRhs (row-major n x nrhs in the ORIGINAL
+  /// ordering, bitwise-identical columns) but the solve runs on the
+  /// cache-sized column tiles of tileLayout(nrhs) — the permutation and the
+  /// tile packing are fused into one pass each way, so tiling adds no
+  /// traversal beyond what the permuted path already paid.
+  void solveMultiRhsTiled(std::span<const double> b, std::span<double> x,
+                          index_t nrhs, SolveContext& ctx, int threads,
+                          core::FoldPolicy policy, StorageKind storage) const;
+  void solveMultiRhsTiled(std::span<const double> b, std::span<double> x,
+                          index_t nrhs, SolveContext& ctx) const;
+
+  /// Tiled SpTRSM on PRE-TILED, PRE-PERMUTED buffers: b and x are packed as
+  /// `layout` column tiles (layout.rows() == numRows()) in the INTERNAL row
+  /// order. The zero-copy entry the serving engine packs coalesced batches
+  /// into directly (solver_engine.cpp) — no intermediate row-major matrix.
+  void solveTiles(std::span<const double> b_tiled, std::span<double> x_tiled,
+                  const TileLayout& layout, SolveContext& ctx, int threads,
+                  core::FoldPolicy policy, StorageKind storage) const;
+
+  /// The tile partition an nrhs-column tiled solve uses: width from
+  /// `tile_cols` if > 0, else options().tile_cols, else the cache-sized
+  /// pickTileCols default.
+  TileLayout tileLayout(index_t nrhs, index_t tile_cols = 0) const;
+
+  /// Matrix bytes one full sweep of `storage` streams on a `threads`-wide
+  /// team (builds the slab plan on demand); the plans' side of the
+  /// tools/roofline.py byte model.
+  std::size_t storageBytesMoved(int threads, core::FoldPolicy policy,
+                                StorageKind storage) const;
 
   /// Solve with b and x in the solver's INTERNAL (schedule-permuted) row
   /// order: position i corresponds to original row permutation()[i].

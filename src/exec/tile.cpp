@@ -1,0 +1,122 @@
+#include "exec/tile.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace sts::exec {
+
+namespace {
+
+std::optional<std::string> readSysString(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  while (!line.empty() &&
+         std::isspace(static_cast<unsigned char>(line.back())) != 0) {
+    line.pop_back();
+  }
+  if (line.empty()) return std::nullopt;
+  return line;
+}
+
+/// "32K" / "1024K" / "8M" / plain bytes -> bytes; 0 on parse failure.
+std::size_t parseCacheSize(const std::string& s) {
+  std::size_t value = 0;
+  std::size_t pos = 0;
+  while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+    value = value * 10 + static_cast<std::size_t>(s[pos] - '0');
+    ++pos;
+  }
+  if (pos == 0) return 0;
+  if (pos < s.size()) {
+    const char suffix =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(s[pos])));
+    if (suffix == 'K') value *= 1024;
+    else if (suffix == 'M') value *= 1024 * 1024;
+    else if (suffix == 'G') value *= 1024 * 1024 * 1024;
+  }
+  return value;
+}
+
+/// CPU count of a shared_cpu_list like "0-3,8,10-11"; 0 on parse failure.
+int parseCpuListCount(const std::string& s) {
+  int count = 0;
+  std::stringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    const auto dash = part.find('-');
+    if (dash == std::string::npos) {
+      count += part.empty() ? 0 : 1;
+      continue;
+    }
+    const int lo = std::atoi(part.substr(0, dash).c_str());
+    const int hi = std::atoi(part.substr(dash + 1).c_str());
+    if (hi >= lo) count += hi - lo + 1;
+  }
+  return count;
+}
+
+}  // namespace
+
+CacheGeometry detectCacheGeometry() {
+  CacheGeometry geo;
+  const std::string root = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int idx = 0; idx < 16; ++idx) {
+    const std::string base = root + std::to_string(idx);
+    const auto level_str = readSysString(base + "/level");
+    if (!level_str) break;  // cache indexes are contiguous
+    const auto type = readSysString(base + "/type").value_or("");
+    const auto size = parseCacheSize(readSysString(base + "/size")
+                                         .value_or(""));
+    if (size == 0) continue;
+    const int level = std::atoi(level_str->c_str());
+    const int sharing = parseCpuListCount(
+        readSysString(base + "/shared_cpu_list").value_or(""));
+    const auto line = parseCacheSize(
+        readSysString(base + "/coherency_line_size").value_or(""));
+    if (line != 0) geo.line_bytes = line;
+    if (level == 1 && type == "Data") {
+      geo.l1d_bytes = size;
+      if (sharing > 0) geo.l1d_shared_cpus = sharing;
+    } else if (level == 2 && type != "Instruction") {
+      geo.l2_bytes = size;
+      if (sharing > 0) geo.l2_shared_cpus = sharing;
+      geo.detected = true;
+    } else if (level == 3 && type != "Instruction") {
+      geo.l3_bytes = size;
+      if (sharing > 0) geo.l3_shared_cpus = sharing;
+    }
+  }
+  return geo;
+}
+
+const CacheGeometry& cacheGeometry() {
+  static const CacheGeometry geo = detectCacheGeometry();
+  return geo;
+}
+
+index_t pickTileCols(index_t rows) {
+  if (const char* env = std::getenv("STS_TILE_COLS")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<index_t>(v);
+  }
+  const CacheGeometry& geo = cacheGeometry();
+  const std::size_t share =
+      geo.l2_bytes / static_cast<std::size_t>(std::max(1, geo.l2_shared_cpus));
+  // Half the share for the two dense tiles; the rest stays available for
+  // the matrix stream and the referenced x lines of earlier tiles' rows.
+  const std::size_t budget = share / 2;
+  const std::size_t per_col =
+      2 * sizeof(double) * static_cast<std::size_t>(std::max<index_t>(1, rows));
+  std::size_t t = budget / per_col;
+  t = std::clamp<std::size_t>(t, 16, 128);
+  t &= ~std::size_t{7};  // whole register blocks
+  return static_cast<index_t>(t);
+}
+
+}  // namespace sts::exec

@@ -101,10 +101,18 @@ def flatten_snapshot(snapshot):
     out.update(flatten_rows(fold.get("serving", []),
                             "fold_policies/serving/",
                             [("", "matrix"), ("", "scheduler")]))
+    out.update(flatten_rows(fold.get("fold_aware", []),
+                            "fold_policies/fold_aware/",
+                            [("", "matrix")]))
     slab = benches.get("slab_locality") or {}
     out.update(flatten_rows(slab.get("results", []), "slab_locality/",
                             [("", "matrix"), ("", "executor"),
                              ("team", "team"), ("nrhs", "nrhs")]))
+    tiled = benches.get("tiled_multirhs") or {}
+    out.update(flatten_rows(tiled.get("results", []), "tiled_multirhs/",
+                            [("", "matrix"), ("", "executor"),
+                             ("", "storage"), ("team", "team"),
+                             ("nrhs", "nrhs")]))
     micro = benches.get("micro_kernels")
     if micro:
         out.update(flatten_google_benchmark(micro, "micro_kernels/"))

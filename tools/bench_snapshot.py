@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Consolidated performance snapshot of the perf-critical benches.
 
-Runs bench_micro_kernels (google-benchmark JSON), bench_fold_policies and
-bench_slab_locality (their `JSON: ` payload lines) and writes one
+Runs bench_micro_kernels (google-benchmark JSON), bench_fold_policies,
+bench_slab_locality and bench_tiled_multirhs (their `JSON: ` payload
+lines) and writes one
 consolidated snapshot file — by convention `BENCH_<PR>.json` at the repo
 root — so the perf trajectory of the hot paths is versioned alongside the
 code that produced it. Schema in docs/BENCHMARKS.md.
@@ -29,7 +30,8 @@ import os
 import subprocess
 import sys
 
-REQUIRED_BENCHES = ["bench_fold_policies", "bench_slab_locality"]
+REQUIRED_BENCHES = ["bench_fold_policies", "bench_slab_locality",
+                    "bench_tiled_multirhs"]
 OPTIONAL_BENCHES = ["bench_micro_kernels"]
 
 
@@ -82,6 +84,7 @@ def main():
         env["STS_BENCH_REPS"] = str(args.reps)
         env.setdefault("STS_FOLD_REPS", str(args.reps))
         env.setdefault("STS_SLAB_REPS", str(args.reps))
+        env.setdefault("STS_TILED_REPS", str(args.reps))
 
     snapshot = {
         "snapshot": os.path.splitext(os.path.basename(args.out))[0],
@@ -129,7 +132,7 @@ def main():
 
     # Lift the host fields of the first JSON-line bench to the top level
     # so cross-snapshot tooling need not dig per bench.
-    for key in ("fold_policies", "slab_locality"):
+    for key in ("fold_policies", "slab_locality", "tiled_multirhs"):
         payload = snapshot["benches"].get(key)
         if payload:
             snapshot["host"] = {
