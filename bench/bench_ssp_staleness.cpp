@@ -1,0 +1,243 @@
+/// Bounded-staleness (SSP) sweep: exact executor vs SSP executor across
+/// staleness x team x dataset. The SSP executor (exec/ssp.hpp) folds
+/// chunks of staleness+1 supersteps between barriers, drops same-chunk
+/// cross-thread operands, and repairs the sparsification with
+/// residual-checked refinement sweeps until ||b - Lx||_inf is at or
+/// below the tolerance (exact fallback past the cap). This bench
+/// measures what relaxed synchronization buys per staleness level and
+/// re-checks the tier contract end to end:
+///
+///   * staleness 0 must be bitwise identical to the exact solve, and
+///   * every staleness > 0 result must meet the residual tolerance on
+///     the ORIGINAL (unpermuted) system.
+///
+///   STS_BENCH_SCALE / STS_BENCH_REPS  dataset sizing as usual;
+///   STS_SSP_WIDTH  (default 4)        analyzed schedule width C;
+///   STS_SSP_REPS   (default 5)        timed passes per configuration;
+///   STS_SSP_TOL    (default 1e-8)     refinement tolerance.
+///
+/// Emits JSON with host metadata (schema in docs/BENCHMARKS.md). Exit
+/// code 0 iff both contract checks hold everywhere — deliberately NOT a
+/// speed gate, so the bench stays robust on 1-core CI runners; timings
+/// and refinement counts are reported for the trajectory snapshots.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/solver.hpp"
+#include "exec/ssp.hpp"
+#include "exec/verify.hpp"
+#include "harness/datasets.hpp"
+#include "harness/stats.hpp"
+
+namespace {
+
+using namespace sts;
+using exec::SchedulerKind;
+using exec::SolverOptions;
+using exec::SspOptions;
+using exec::SspResult;
+using exec::StorageKind;
+using exec::TriangularSolver;
+
+using sts::bench::envInt;
+
+double envDouble(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  return raw && *raw ? std::atof(raw) : fallback;
+}
+
+struct Row {
+  std::string dataset;
+  std::string matrix;
+  std::string executor;
+  int team = 0;
+  index_t staleness = 0;
+  double exact_seconds = 0.0;
+  double ssp_seconds = 0.0;
+  double ssp_speedup = 0.0;
+  int refinements = 0;
+  double residual = 0.0;
+  bool fell_back = false;
+};
+
+}  // namespace
+
+int main() {
+  const int width = envInt("STS_SSP_WIDTH", 4);
+  const int reps = envInt("STS_SSP_REPS", 5);
+  const double tol = envDouble("STS_SSP_TOL", 1e-8);
+
+  bench::banner("SSP staleness sweep", "Bounded-staleness executor tier",
+                "Exact vs SSP solve, staleness x team x dataset; "
+                "residual-gated");
+  std::printf("schedule width %d, %d timed reps, tolerance %.1e\n\n", width,
+              reps, tol);
+
+  std::vector<harness::DatasetEntry> entries;
+  std::vector<std::string> entry_dataset;
+  {
+    auto narrow = harness::narrowBandSet();
+    if (!narrow.empty()) {
+      entry_dataset.push_back("narrow-band");
+      entries.push_back(std::move(narrow.front()));
+    }
+    auto erdos = harness::erdosRenyiSet();
+    if (!erdos.empty()) {
+      entry_dataset.push_back("erdos-renyi");
+      entries.push_back(std::move(erdos.front()));
+    }
+    auto real = harness::suiteSparseReal();
+    auto standin = harness::suiteSparseStandin();
+    if (!real.empty()) {
+      entry_dataset.push_back("suitesparse");
+      entries.push_back(std::move(real.front()));
+    } else if (!standin.empty()) {
+      entry_dataset.push_back("suitesparse-standin");
+      entries.push_back(std::move(standin.front()));
+    }
+  }
+
+  struct ExecConfig {
+    std::string name;
+    SolverOptions options;
+  };
+  std::vector<ExecConfig> configs;
+  {
+    SolverOptions opts;
+    opts.num_threads = width;
+    opts.validate = false;
+    opts.reorder = true;
+    configs.push_back({"contiguous", opts});
+    opts.reorder = false;
+    configs.push_back({"bsp", opts});
+  }
+
+  std::vector<int> teams = {1, width};
+  teams.erase(std::unique(teams.begin(), teams.end()), teams.end());
+  const std::vector<index_t> staleness_sweep = {0, 1, 2, 4};
+
+  using Clock = std::chrono::high_resolution_clock;
+  std::vector<Row> rows;
+  bool bitwise_ok = true;
+  bool residual_ok = true;
+  for (size_t e = 0; e < entries.size(); ++e) {
+    const auto& entry = entries[e];
+    const auto n = static_cast<size_t>(entry.lower.rows());
+    std::vector<double> b(n);
+    for (size_t i = 0; i < n; ++i) {
+      b[i] = 1.0 + 0.25 * static_cast<double>((3 * i + e) % 17);
+    }
+    for (const auto& config : configs) {
+      const auto solver = TriangularSolver::analyze(entry.lower,
+                                                    config.options);
+      auto ctx = solver.createContext();
+      for (const int team : teams) {
+        std::vector<double> x_exact(n);
+        // Warmup also pays the one-time plan builds outside the timing.
+        solver.solve(b, x_exact, *ctx, team, solver.options().fold_policy,
+                     StorageKind::kSharedCsr);
+        std::vector<double> exact_times;
+        for (int pass = 0; pass < reps; ++pass) {
+          const auto t0 = Clock::now();
+          solver.solve(b, x_exact, *ctx, team, solver.options().fold_policy,
+                       StorageKind::kSharedCsr);
+          exact_times.push_back(
+              std::chrono::duration<double>(Clock::now() - t0).count());
+        }
+        const double exact_seconds = harness::quantile(exact_times, 0.5);
+
+        for (const index_t staleness : staleness_sweep) {
+          SspOptions ssp;
+          ssp.staleness = staleness;
+          ssp.tolerance = staleness == 0 ? 1e-6 : tol;
+          std::vector<double> x(n);
+          SspResult result = solver.solveBoundedStale(
+              b, x, ssp, *ctx, team, solver.options().fold_policy,
+              StorageKind::kSharedCsr);
+          if (staleness == 0 && x != x_exact) bitwise_ok = false;
+          if (staleness > 0 &&
+              exec::residualInf(entry.lower, x, b) > tol) {
+            residual_ok = false;
+          }
+          std::vector<double> ssp_times;
+          for (int pass = 0; pass < reps; ++pass) {
+            const auto t0 = Clock::now();
+            result = solver.solveBoundedStale(
+                b, x, ssp, *ctx, team, solver.options().fold_policy,
+                StorageKind::kSharedCsr);
+            ssp_times.push_back(
+                std::chrono::duration<double>(Clock::now() - t0).count());
+          }
+
+          Row row;
+          row.dataset = entry_dataset[e];
+          row.matrix = entry.name;
+          row.executor = config.name;
+          row.team = team;
+          row.staleness = staleness;
+          row.exact_seconds = exact_seconds;
+          row.ssp_seconds = harness::quantile(ssp_times, 0.5);
+          row.ssp_speedup = row.ssp_seconds > 0.0
+                                ? exact_seconds / row.ssp_seconds
+                                : 0.0;
+          row.refinements = result.refinements;
+          row.residual = result.residual;
+          row.fell_back = result.fell_back;
+          std::printf("%-14s %-10s team %2d s=%d: exact %9.3f ms  "
+                      "ssp %9.3f ms  (%.2fx, %d refine%s)\n",
+                      entry.name.c_str(), config.name.c_str(), team,
+                      static_cast<int>(staleness), exact_seconds * 1e3,
+                      row.ssp_seconds * 1e3, row.ssp_speedup,
+                      row.refinements, row.fell_back ? ", fell back" : "");
+          rows.push_back(std::move(row));
+        }
+      }
+    }
+  }
+
+  std::vector<double> stale_speedups;
+  for (const auto& row : rows) {
+    if (row.staleness > 0 && row.team > 1 && row.ssp_speedup > 0.0) {
+      stale_speedups.push_back(row.ssp_speedup);
+    }
+  }
+  const double stale_geomean =
+      stale_speedups.empty() ? 0.0 : harness::geometricMean(stale_speedups);
+
+  std::printf("\nJSON: {\"bench\":\"ssp_staleness\",%s,"
+              "\"schedule_width\":%d,\"reps\":%d,\"tolerance\":%.3g,"
+              "\"results\":[",
+              bench::hostMetaJson().c_str(), width, reps, tol);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::printf("%s{\"dataset\":\"%s\",\"matrix\":\"%s\","
+                "\"executor\":\"%s\",\"team\":%d,\"staleness\":%d,"
+                "\"exact_seconds\":%.6g,\"ssp_seconds\":%.6g,"
+                "\"ssp_speedup\":%.4g,\"refinements\":%d,"
+                "\"residual\":%.6g,\"fell_back\":%s}",
+                i == 0 ? "" : ",", r.dataset.c_str(), r.matrix.c_str(),
+                r.executor.c_str(), r.team, static_cast<int>(r.staleness),
+                r.exact_seconds, r.ssp_seconds, r.ssp_speedup,
+                r.refinements, r.residual, r.fell_back ? "true" : "false");
+  }
+  std::printf("],\"stale_geomean_speedup\":%.4g,"
+              "\"bitwise_equal_s0\":%s,\"residual_within_tol\":%s}\n",
+              stale_geomean, bitwise_ok ? "true" : "false",
+              residual_ok ? "true" : "false");
+
+  std::printf("\nclaims under test: staleness 0 is bitwise identical to the "
+              "exact solve, and every\nstaleness > 0 result meets the "
+              "%.1e residual tolerance (speed reported, not gated).\n",
+              tol);
+  std::printf("stale (s>0, team>1) geomean speedup vs exact: %.2fx\n",
+              stale_geomean);
+  std::printf(bitwise_ok && residual_ok ? "claims hold.\n"
+                                        : "claims FAILED.\n");
+  return bitwise_ok && residual_ok ? 0 : 1;
+}

@@ -91,6 +91,15 @@ SolverEngine::SolverEngine(EngineOptions options)
   if (options_.core_budget < 0) {
     throw std::invalid_argument("SolverEngine: core_budget must be >= 0");
   }
+  if (options_.stale_supersteps < 0) {
+    throw std::invalid_argument("SolverEngine: stale_supersteps must be >= 0");
+  }
+  if (options_.stale_tolerance < 0.0) {
+    throw std::invalid_argument("SolverEngine: stale_tolerance must be >= 0");
+  }
+  if (options_.stale_max_refine < 0) {
+    throw std::invalid_argument("SolverEngine: stale_max_refine must be >= 0");
+  }
   if (options_.start_paused) queue_.pause();
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int w = 0; w < options_.num_workers; ++w) {
@@ -183,6 +192,10 @@ SolverId SolverEngine::registerSolver(
   reg->rhs_solved_counter = &metrics_.counter(solverMetric(id, "rhs_solved"));
   reg->batches_counter = &metrics_.counter(solverMetric(id, "batches"));
   reg->slo_steps_counter = &metrics_.counter(solverMetric(id, "slo_steps"));
+  reg->refine_hist =
+      &metrics_.histogram(solverMetric(id, "refine_iterations"));
+  reg->ssp_fallbacks_counter =
+      &metrics_.counter(solverMetric(id, "ssp_fallbacks"));
   solvers_.push_back(std::move(reg));
   return id;
 }
@@ -418,6 +431,15 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   bool tiled_batch = false;
   double pack_elapsed = 0.0;
   double unpack_elapsed = 0.0;
+  // Bounded-stale tier: route through the SSP executor with the engine's
+  // staleness/tolerance knobs; what the refinement loop did feeds the
+  // serving stats below.
+  const bool bounded_stale = options_.tier == ServiceTier::kBoundedStale;
+  exec::SspOptions ssp_opts;
+  ssp_opts.staleness = options_.stale_supersteps;
+  ssp_opts.tolerance = options_.stale_tolerance;
+  ssp_opts.max_refinements = options_.stale_max_refine;
+  exec::SspResult ssp_result;
 
   std::vector<std::vector<double>> results;
   std::exception_ptr error;
@@ -441,7 +463,15 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
       std::vector<double> x(request.b.size());
       {
         STS_TRACE_SPAN1("engine", "solve", "team", team);
-        if (request.nrhs == 1) {
+        if (bounded_stale) {
+          ssp_result = request.nrhs == 1
+                           ? solver.solveBoundedStale(request.b, x, ssp_opts,
+                                                      lease.context(), team,
+                                                      fold_policy, storage)
+                           : solver.solveBoundedStaleMultiRhs(
+                                 request.b, x, request.nrhs, ssp_opts,
+                                 lease.context(), team, fold_policy, storage);
+        } else if (request.nrhs == 1) {
           solver.solve(request.b, x, lease.context(), team, fold_policy,
                        storage);
         } else if (options_.tiled) {
@@ -457,7 +487,7 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
         }
       }
       results.push_back(std::move(x));
-    } else if (options_.tiled) {
+    } else if (options_.tiled && !bounded_stale) {
       // Coalesced batch, tiled layout: the k request vectors are packed
       // DIRECTLY into the solver's cache-sized column tiles — permutation
       // fused into the pack, no intermediate row-major staging matrix —
@@ -538,9 +568,18 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
       }
       {
         STS_TRACE_SPAN1("engine", "solve", "team", team);
-        solver.solveMultiRhs(b_packed, x_packed,
-                             static_cast<sts::index_t>(k), lease.context(),
-                             team, fold_policy, storage);
+        if (bounded_stale) {
+          // Bounded-stale batches stay row-major: the SSP multi-RHS
+          // kernels read whole dropped entries per row, which the column
+          // tiling would split across sweeps.
+          ssp_result = solver.solveBoundedStaleMultiRhs(
+              b_packed, x_packed, static_cast<sts::index_t>(k), ssp_opts,
+              lease.context(), team, fold_policy, storage);
+        } else {
+          solver.solveMultiRhs(b_packed, x_packed,
+                               static_cast<sts::index_t>(k), lease.context(),
+                               team, fold_policy, storage);
+        }
       }
       STS_TRACE_SPAN1("engine", "unpack", "rhs", k);
       const auto u0 = std::chrono::steady_clock::now();
@@ -591,6 +630,16 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   reg.migrated_threads += migrated_threads;
   if (!error && storage == exec::StorageKind::kSlab) reg.slab_batches += 1;
   if (!error && tiled_batch) reg.tiled_batches += 1;
+  if (!error && bounded_stale) {
+    reg.ssp_batches += 1;
+    reg.refine_iterations += static_cast<std::uint64_t>(ssp_result.refinements);
+    reg.last_residual = ssp_result.residual;
+    reg.refine_hist->record(static_cast<double>(ssp_result.refinements));
+    if (ssp_result.fell_back) {
+      reg.ssp_fallbacks += 1;
+      reg.ssp_fallbacks_counter->inc();
+    }
+  }
   reg.busy_seconds += std::chrono::duration<double>(t1 - t0).count();
   reg.pack_seconds += pack_elapsed;
   reg.unpack_seconds += unpack_elapsed;
@@ -665,6 +714,10 @@ SolverServingStats SolverEngine::stats(SolverId id) const {
     out.tiled_batches = reg.tiled_batches;
     out.seeded_team = reg.seeded_team;
     out.slo_steps = reg.slo_steps;
+    out.ssp_batches = reg.ssp_batches;
+    out.refine_iterations = reg.refine_iterations;
+    out.ssp_fallbacks = reg.ssp_fallbacks;
+    out.last_residual = reg.last_residual;
     out.busy_seconds = reg.busy_seconds;
     out.pack_seconds = reg.pack_seconds;
     out.unpack_seconds = reg.unpack_seconds;

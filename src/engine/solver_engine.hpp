@@ -73,6 +73,16 @@
 ///    queue the effective coalescing cap rises toward 2 * max_batch while
 ///    teams shrink, so the barrier amortization grows exactly when the
 ///    backlog can feed it.
+///  * Service tiers (EngineOptions::tier): the exact tier (default) serves
+///    bitwise-deterministic direct solves; the bounded-stale tier routes
+///    every batch through TriangularSolver::solveBoundedStale* — SSP
+///    sweeps with relaxed barriers plus residual-checked refinement to
+///    `stale_tolerance` (exec/ssp.hpp) — for preconditioner-application
+///    serving, where the surrounding Krylov loop absorbs a bounded
+///    residual. Refinement counts, fallbacks, and the last residual land
+///    in SolverServingStats and the metrics registry. Tiers compose with
+///    elasticity, budgeting, pinning, and storage; `tiled` stays an
+///    exact-tier layout (bounded-stale batches run row-major).
 ///  * Per-solver throughput/latency statistics aggregate via the
 ///    harness::stats quantile helpers (SolverServingStats).
 
@@ -192,6 +202,10 @@ class SolverEngine {
     obs::Counter* rhs_solved_counter = nullptr;
     obs::Counter* batches_counter = nullptr;
     obs::Counter* slo_steps_counter = nullptr;
+    /// Bounded-stale tier instruments: refinement-sweep distribution per
+    /// batch plus fallback count (zero on exact-tier engines).
+    obs::Histogram* refine_hist = nullptr;
+    obs::Counter* ssp_fallbacks_counter = nullptr;
 
     /// The SLO controller's current team choice (0 = unset, meaning the
     /// base width). Cold-started by seedTeam at registration when
@@ -222,6 +236,10 @@ class SolverEngine {
     std::uint64_t tiled_batches STS_GUARDED_BY(stats_mu) = 0;
     std::uint64_t team_size_accum STS_GUARDED_BY(stats_mu) = 0;
     std::uint64_t slo_steps STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t ssp_batches STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t refine_iterations STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t ssp_fallbacks STS_GUARDED_BY(stats_mu) = 0;
+    double last_residual STS_GUARDED_BY(stats_mu) = 0.0;
     double busy_seconds STS_GUARDED_BY(stats_mu) = 0.0;
     double pack_seconds STS_GUARDED_BY(stats_mu) = 0.0;
     double unpack_seconds STS_GUARDED_BY(stats_mu) = 0.0;

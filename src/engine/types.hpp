@@ -21,6 +21,26 @@ namespace sts::engine {
 /// never recycled for the engine's lifetime.
 using SolverId = std::uint32_t;
 
+/// Latency/accuracy service tier of every batch the engine executes.
+///
+/// kExact runs the exact executors: results are bitwise-deterministic
+/// solutions of T x = b — the contract direct solves need. kBoundedStale
+/// runs the SSP executor (exec/ssp.hpp): sweeps barrier only every
+/// `stale_supersteps + 1` supersteps and residual-checked refinement
+/// restores ||b - T x||_inf <= `stale_tolerance` (exact fallback past
+/// `stale_max_refine` sweeps) — the contract preconditioner applications
+/// need (examples/iccg_preconditioner), where the surrounding Krylov
+/// iteration already absorbs a bounded residual. With stale_supersteps ==
+/// 0 the tier degenerates to the exact walk bitwise.
+enum class ServiceTier {
+  kExact,
+  kBoundedStale,
+};
+
+inline const char* serviceTierName(ServiceTier tier) {
+  return tier == ServiceTier::kExact ? "exact" : "bounded-stale";
+}
+
 /// ## How the adaptive options interact
 ///
 /// `fold_policy` / `storage` (exec::SolverOptions), `target_p95`,
@@ -37,6 +57,7 @@ using SolverId = std::uint32_t;
 /// | `fold_policy` (solver) | HOW ranks map onto the granted width | kModulo / kBinPack; any width from the rules above executes losslessly |
 /// | `storage` (engine or solver) | WHAT memory layout the hot loop walks | engine `storage` overrides each solver's `SolverOptions::storage` when set; kSlab streams per-(team, policy) thread-local packed records, kSharedCsr walks the analyzed CSR. Layout only — results stay bitwise identical |
 /// | `tiled`                | HOW multi-RHS batches are laid out | on (default): coalesced batches pack straight into the solver's cache-sized column tiles (exec/tile.hpp) and run the tiled executor path — register-blocked CSR kernels, L2-resident RHS. off: the row-major solveMultiRhs path. Layout only — results stay bitwise identical; composes with every row above (`storage` picks the matrix side, `tiled` the RHS side) |
+/// | `tier`                 | WHICH numerical contract batches satisfy | kExact (default): bitwise-deterministic direct solves. kBoundedStale: SSP sweeps with `stale_supersteps` relaxed barriers + residual-checked refinement to `stale_tolerance` (cap `stale_max_refine`, then exact fallback). Composes with every row above — elasticity, budget, pinning, and storage apply unchanged; `tiled` applies to the exact tier only (bounded-stale batches run the row-major SSP path). Refinement counts/residuals land in SolverServingStats and the metrics registry |
 /// | `trace`                | WHETHER batches attribute compute vs. wait | on (default): every batch arms a per-solve obs::SolveTrace so `traceSummary()` aggregates per-superstep compute/wait per (team, storage); executor threads batch the accounting locally and flush once per region. off: attribution idle (executors see a null sink — one branch per call site). Independent of the process-wide obs::TraceSession (Perfetto spans), which any thread can start regardless. Orthogonal to all rows above — tracing never changes results (bitwise) |
 ///
 /// Pipeline per batch: elastic policy picks a DESIRED width → CoreBudget
@@ -135,6 +156,19 @@ struct EngineOptions {
   /// results; tiled batches count in SolverServingStats::tiled_batches and
   /// the pack/unpack passes in pack_seconds / unpack_seconds.
   bool tiled = true;
+  /// The numerical contract every batch satisfies (see ServiceTier): the
+  /// exact executors, or the bounded-stale SSP path with the three
+  /// `stale_*` knobs below. A per-engine choice — register the same
+  /// analyzed solver with two engines to serve both tiers.
+  ServiceTier tier = ServiceTier::kExact;
+  /// kBoundedStale only: supersteps a stale read may lag (SSP chunk width
+  /// is stale_supersteps + 1; 0 = exact walk, bitwise).
+  sts::index_t stale_supersteps = 1;
+  /// kBoundedStale only: absolute bound on ||b - T x||_inf the refinement
+  /// loop must reach.
+  double stale_tolerance = 1e-8;
+  /// kBoundedStale only: refinement sweeps before the exact fallback.
+  int stale_max_refine = 20;
   /// Arm per-batch compute-vs-wait attribution (obs::SolveTrace on the
   /// leased context): `traceSummary()` then reports per-superstep compute
   /// and barrier/p2p-wait time per (team, storage) combination. The cost
@@ -210,6 +244,18 @@ struct SolverServingStats {
   /// a shallow queue — do not count). Each actuation is also emitted as an
   /// `slo_step` trace instant when a TraceSession is active.
   std::uint64_t slo_steps = 0;
+  /// Batches served through the bounded-stale tier (EngineOptions::tier ==
+  /// ServiceTier::kBoundedStale; 0 on exact-tier engines).
+  std::uint64_t ssp_batches = 0;
+  /// Refinement sweeps summed over bounded-stale batches (also a registry
+  /// histogram, `sts.solver<id>.refine_iterations`); 0 sweeps means the
+  /// first SSP sweep already met the tolerance — the staleness-0 bitwise
+  /// regime always lands here.
+  std::uint64_t refine_iterations = 0;
+  /// Bounded-stale batches whose refinement cap fired the exact fallback.
+  std::uint64_t ssp_fallbacks = 0;
+  /// Final ||b - T x||_inf of the most recent bounded-stale batch.
+  double last_residual = 0.0;
   /// Latency quantiles over every completion, from the registry's
   /// log-bucketed histogram (<= ~9% relative bucket error — see
   /// obs/registry.hpp; prior PRs computed them exactly over a 64Ki-sample

@@ -1,0 +1,172 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "exec/elastic.hpp"
+#include "exec/slab.hpp"
+#include "exec/solve_context.hpp"
+#include "exec/storage.hpp"
+#include "sparse/csr.hpp"
+
+/// \file ssp.hpp
+/// Stale-synchronous-parallel (SSP) SpTRSV executor with residual-checked
+/// iterative refinement — the bounded-staleness execution mode of the
+/// source authors' elasticity follow-up paper ("Elasticity in Parallel
+/// Sparse Triangular Solve", PAPERS.md), sitting beside the exact BSP and
+/// P2P executors.
+///
+/// ## Execution model
+///
+/// The analyzed schedule's supersteps are chunked into blocks of
+/// `staleness + 1`; one sweep barriers only at CHUNK boundaries instead of
+/// superstep boundaries, cutting the synchronization count by a factor of
+/// `staleness + 1`. Within a chunk a thread may need an operand x[j] that
+/// another thread of the SAME chunk is still computing; the SSP kernels
+/// (row_kernels.hpp, SspGuard) drop that term — deterministically, with no
+/// cross-thread read of in-flight data — which is exactly reading the
+/// previous refinement iterate's value for it (zero on the first sweep).
+/// One sweep therefore applies M^{-1} exactly, where M is the lower
+/// triangle with the same-chunk cross-thread entries N removed (L = M + N).
+///
+/// ## Refinement
+///
+/// solve() iterates the residual-checked splitting
+///
+///     x_{m+1} = x_m + M^{-1} (b - L x_m)        (== M^{-1} (b - N x_m))
+///
+/// until ||b - L x||_inf meets SspOptions::tolerance or the iteration cap
+/// triggers the EXACT FALLBACK: one staleness-0 sweep, which is the BSP
+/// schedule walk itself. M^{-1} N is strictly lower triangular, hence
+/// nilpotent — in exact arithmetic the loop terminates in finitely many
+/// steps, and every dropped operand enters one iteration late, i.e. at
+/// most `staleness` supersteps stale.
+///
+/// ## Degeneracy contract (the differential anchor)
+///
+/// At staleness 0 the chunk is one superstep; a valid schedule has no
+/// cross-thread same-superstep dependency, so the guard never fires, the
+/// first sweep runs the exact kernels' arithmetic sequence verbatim, the
+/// residual check passes with zero refinements, and the result is BITWISE
+/// IDENTICAL to the BSP executor for every scheduler kind, team size, and
+/// storage kind (tests/test_ssp.cpp, bench_ssp_staleness exit gate).
+///
+/// Reentrancy and elasticity follow bsp.hpp: the executor is immutable
+/// after construction, per-solve state (barrier + SSP scratch) lives in
+/// the SolveContext, and per-(team, policy) plans are cached like the BSP
+/// fold plans. Both storages (shared CSR / slab) are supported.
+
+namespace sts::exec {
+
+using core::Schedule;
+using sparse::CsrMatrix;
+using sts::index_t;
+using sts::offset_t;
+
+/// Per-solve SSP knobs (a solve-time choice, like team and storage).
+struct SspOptions {
+  /// Supersteps a stale read may lag: chunk width is staleness + 1.
+  /// 0 degenerates to the exact BSP walk (bitwise). Must be >= 0.
+  index_t staleness = 1;
+  /// Absolute convergence bound on ||b - L x||_inf.
+  double tolerance = 1e-8;
+  /// Refinement sweeps before the exact fallback kicks in.
+  int max_refinements = 20;
+};
+
+/// What a bounded-stale solve did (the engine folds these into its
+/// serving stats and metrics registry).
+struct SspResult {
+  int refinements = 0;      ///< correction sweeps beyond the first
+  double residual = 0.0;    ///< final ||b - L x||_inf
+  bool converged = false;   ///< final residual <= tolerance (incl. fallback)
+  bool fell_back = false;   ///< iteration cap hit; exact sweep re-solved
+};
+
+class SspExecutor {
+ public:
+  /// From a validated schedule (the BSP/P2P analysis product): work lists
+  /// are materialized per (superstep, core) group like BspExecutor's.
+  SspExecutor(const CsrMatrix& lower, const Schedule& schedule);
+
+  /// From explicit full-width work lists (the contiguous/reordered path
+  /// hands over its group_ptr ranges via listsFromGroupPtr). `lists` must
+  /// partition [0, lower.rows()) with num_supersteps boundaries per
+  /// thread; checked builds enforce check::validateSspPlan.
+  SspExecutor(const CsrMatrix& lower, index_t num_supersteps,
+              detail::FoldedLists lists);
+
+  /// Materializes contiguous (superstep, core) row ranges — the
+  /// ContiguousBspExecutor's group_ptr encoding — as explicit work lists.
+  static detail::FoldedLists listsFromGroupPtr(
+      std::span<const offset_t> group_ptr, index_t num_supersteps,
+      int num_cores);
+
+  /// Bounded-stale x = L^{-1} b to opts.tolerance (refinement loop above).
+  /// Shapes and team/policy/storage contracts match BspExecutor::solve;
+  /// concurrent solves need distinct contexts.
+  SspResult solve(std::span<const double> b, std::span<double> x,
+                  const SspOptions& opts, SolveContext& ctx, int team,
+                  core::FoldPolicy policy, StorageKind storage) const;
+
+  /// Bounded-stale X = L^{-1} B, row-major n x nrhs; the residual bound
+  /// holds per RHS column (the check reduces over all of them).
+  SspResult solveMultiRhs(std::span<const double> b, std::span<double> x,
+                          index_t nrhs, const SspOptions& opts,
+                          SolveContext& ctx, int team,
+                          core::FoldPolicy policy,
+                          StorageKind storage) const;
+
+  int numThreads() const { return num_threads_; }
+  index_t numSupersteps() const { return num_supersteps_; }
+  /// Chunk count (== barriers per sweep) at a given staleness.
+  index_t numChunks(index_t staleness) const {
+    return (num_supersteps_ + staleness) / (staleness + 1);
+  }
+
+ private:
+  /// Per-(team, policy) execution plan: the folded work lists plus the
+  /// row -> folded-thread owner map the SspGuard reads.
+  struct SspPlan {
+    detail::FoldedLists lists;
+    std::vector<int> owner;
+  };
+
+  const SspPlan& plan(int team, core::FoldPolicy policy) const;
+  const detail::SlabPlan& slabPlan(int team, core::FoldPolicy policy) const;
+
+  /// One M^{-1} sweep of `rhs` into `x` (nrhs columns) at the given
+  /// staleness; barriers at chunk boundaries only.
+  void sweep(std::span<const double> rhs, std::span<double> x, index_t nrhs,
+             index_t staleness, SolveContext& ctx, int team,
+             core::FoldPolicy policy, StorageKind storage) const;
+
+  /// x += e (skipped when `e` is empty), then r = rhs - L x; returns
+  /// ||r||_inf. One parallel region, an internal barrier between the
+  /// update and the residual read.
+  double updateAndResidual(std::span<const double> rhs, std::span<double> x,
+                           std::span<const double> e, std::span<double> r,
+                           index_t nrhs, SolveContext& ctx, int team,
+                           core::FoldPolicy policy) const;
+
+  SspResult solveImpl(std::span<const double> b, std::span<double> x,
+                      index_t nrhs, const SspOptions& opts, SolveContext& ctx,
+                      int team, core::FoldPolicy policy,
+                      StorageKind storage) const;
+
+  const CsrMatrix& lower_;
+  int num_threads_ = 0;
+  index_t num_supersteps_ = 0;
+  /// row -> superstep of the analyzed schedule (team-invariant: folding
+  /// preserves supersteps).
+  std::vector<index_t> row_step_;
+  /// The full-width plan; also the shared team == numThreads() plan.
+  SspPlan full_;
+  /// Per-(superstep, rank) nnz loads (superstep-major); feeds kBinPack.
+  std::vector<core::weight_t> rank_loads_;
+  detail::TeamPlanCache<SspPlan> plans_;
+  detail::TeamPlanCache<detail::SlabPlan> slabs_;
+};
+
+}  // namespace sts::exec

@@ -1,0 +1,549 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "datagen/grids.hpp"
+#include "datagen/random_matrices.hpp"
+#include "engine/solver_engine.hpp"
+#include "exec/solver.hpp"
+#include "exec/ssp.hpp"
+#include "exec/verify.hpp"
+#include "test_util.hpp"
+
+/// \file test_ssp.cpp
+/// The differential test layer hardening the bounded-staleness (SSP)
+/// executor. The invariants pinned here (see docs/TESTING.md):
+///
+///  * DEGENERACY: staleness 0 is bitwise identical to the exact solve for
+///    every scheduler kind x team x storage, with zero refinements.
+///  * RESIDUAL: for staleness > 0 the refinement loop drives
+///    ||b - L x||_inf at or below the configured tolerance on every
+///    harness dataset (zoo matrices), single and multi RHS.
+///  * FALLBACK: an unreachable tolerance trips the iteration cap and the
+///    exact fallback returns the bitwise exact solution.
+///  * REENTRANCY: concurrent mixed exact/SSP solves on one analyzed
+///    solver (distinct contexts) are race-free — TSan covers this in CI.
+///  * PROPERTY (randomized, seeds logged via SCOPED_TRACE): forward error
+///    is bounded by tolerance x a condition bound from the Ostrowski
+///    comparison matrix, and refinement counts are monotone
+///    NON-DECREASING in staleness (up to slack 1) over nested chunk
+///    widths — wider chunks drop more operands, so they need more
+///    correction, not less.
+///  * PLAN VALIDITY: check::validateSspPlan accepts every shipped plan
+///    and rejects hand-crafted violations of the stream-order /
+///    strictly-earlier-superstep preconditions.
+
+namespace sts {
+namespace {
+
+using exec::SchedulerKind;
+using exec::SolverOptions;
+using exec::SspOptions;
+using exec::SspResult;
+using exec::StorageKind;
+using exec::TriangularSolver;
+
+/// Loose tolerance for the bitwise tests: the staleness-0 first sweep is
+/// already backward stable, so the residual check passes with ZERO
+/// refinements and nothing perturbs the bitwise result.
+constexpr double kLooseTol = 1e-6;
+
+std::vector<double> makeRhs(size_t n, index_t nrhs, unsigned salt = 0) {
+  std::vector<double> b(n * static_cast<size_t>(nrhs));
+  for (size_t i = 0; i < b.size(); ++i) {
+    b[i] = 1.0 + 0.125 * static_cast<double>((i * 7 + salt) % 23) -
+           0.5 * static_cast<double>((i + salt) % 3);
+  }
+  return b;
+}
+
+std::vector<SchedulerKind> allSchedulerKinds() {
+  return {SchedulerKind::kGrowLocal, SchedulerKind::kFunnelGrowLocal,
+          SchedulerKind::kWavefront, SchedulerKind::kHdagg,
+          SchedulerKind::kSpmp,      SchedulerKind::kBspList,
+          SchedulerKind::kSerial};
+}
+
+/// ||M(L)^{-1} 1||_inf for the Ostrowski comparison matrix M(L)
+/// (|diagonal| on the diagonal, -|off-diagonal| elsewhere). M(L) is an
+/// M-matrix with M(L)^{-1} >= |L^{-1}| elementwise, so this bounds
+/// ||L^{-1}||_inf — the condition factor scaling residual into forward
+/// error. One forward substitution computes it.
+double comparisonConditionBound(const sparse::CsrMatrix& lower) {
+  const auto n = static_cast<size_t>(lower.rows());
+  std::vector<double> z(n, 0.0);
+  double bound = 0.0;
+  for (index_t i = 0; i < lower.rows(); ++i) {
+    const auto cols = lower.rowCols(i);
+    const auto vals = lower.rowValues(i);
+    double acc = 1.0;
+    for (size_t k = 0; k + 1 < cols.size(); ++k) {
+      acc += std::abs(vals[k]) * z[static_cast<size_t>(cols[k])];
+    }
+    const double zi = acc / std::abs(vals.back());
+    z[static_cast<size_t>(i)] = zi;
+    bound = std::max(bound, zi);
+  }
+  return bound;
+}
+
+TEST(SspDifferential, S0BitwiseMatchesExactForEveryConfig) {
+  const int width = 4;
+  const auto matrices = {
+      datagen::grid2dLaplacian5(12, 14).lowerTriangle(),
+      datagen::erdosRenyiLower({.n = 300, .p = 1e-2, .seed = 7}),
+  };
+  SspOptions s0;
+  s0.staleness = 0;
+  s0.tolerance = kLooseTol;
+  for (const auto& lower : matrices) {
+    const auto n = static_cast<size_t>(lower.rows());
+    for (const SchedulerKind kind : allSchedulerKinds()) {
+      SolverOptions opts;
+      opts.scheduler = kind;
+      opts.num_threads = width;
+      const auto solver = TriangularSolver::analyze(lower, opts);
+      auto ctx = solver.createContext();
+      for (const int team : {1, 2, width}) {
+        for (const StorageKind storage :
+             {StorageKind::kSharedCsr, StorageKind::kSlab}) {
+          const std::string where = exec::schedulerKindName(kind) +
+                                    " team " + std::to_string(team) +
+                                    " storage " +
+                                    std::string(exec::storageKindName(storage));
+          const auto policy = core::FoldPolicy::kModulo;
+          const auto b = makeRhs(n, 1);
+          std::vector<double> x_exact(n);
+          std::vector<double> x_ssp(n);
+          solver.solve(b, x_exact, *ctx, team, policy, storage);
+          const SspResult result = solver.solveBoundedStale(
+              b, x_ssp, s0, *ctx, team, policy, storage);
+          EXPECT_EQ(result.refinements, 0) << where;
+          EXPECT_TRUE(result.converged) << where;
+          EXPECT_FALSE(result.fell_back) << where;
+          ASSERT_EQ(exec::maxAbsDiff(x_ssp, x_exact), 0.0) << where;
+
+          const index_t nrhs = 3;
+          const auto bm = makeRhs(n, nrhs);
+          std::vector<double> xm_exact(bm.size());
+          std::vector<double> xm_ssp(bm.size());
+          solver.solveMultiRhs(bm, xm_exact, nrhs, *ctx, team, policy,
+                               storage);
+          const SspResult multi = solver.solveBoundedStaleMultiRhs(
+              bm, xm_ssp, nrhs, s0, *ctx, team, policy, storage);
+          EXPECT_EQ(multi.refinements, 0) << where;
+          ASSERT_EQ(exec::maxAbsDiff(xm_ssp, xm_exact), 0.0) << where;
+        }
+      }
+    }
+  }
+}
+
+TEST(SspDifferential, StalenessResidualBelowToleranceOnZoo) {
+  const double tol = 1e-8;
+  for (const auto& entry : testutil::lowerTriangularZoo()) {
+    SCOPED_TRACE(entry.name);
+    const auto& lower = entry.lower;
+    const auto n = static_cast<size_t>(lower.rows());
+    SolverOptions opts;
+    opts.num_threads = 4;
+    const auto solver = TriangularSolver::analyze(lower, opts);
+    auto ctx = solver.createContext();
+    for (const index_t staleness : {1, 3}) {
+      for (const StorageKind storage :
+           {StorageKind::kSharedCsr, StorageKind::kSlab}) {
+        SspOptions ssp;
+        ssp.staleness = staleness;
+        ssp.tolerance = tol;
+        const auto b = makeRhs(n, 1);
+        std::vector<double> x(n);
+        const SspResult result = solver.solveBoundedStale(
+            b, x, ssp, *ctx, solver.defaultTeam(), core::FoldPolicy::kModulo,
+            storage);
+        EXPECT_TRUE(result.converged)
+            << "staleness " << staleness << " residual " << result.residual;
+        EXPECT_LE(result.residual, tol);
+        EXPECT_GE(result.refinements, 0);
+        // The reported residual is measured on the permuted system; the
+        // contract is about the ORIGINAL one (inf-norms agree — verify).
+        EXPECT_LE(exec::residualInf(lower, x, b), tol);
+      }
+    }
+    // Multi-RHS: the bound holds for every column at once.
+    SspOptions ssp;
+    ssp.staleness = 2;
+    ssp.tolerance = tol;
+    const index_t nrhs = 4;
+    const auto bm = makeRhs(n, nrhs);
+    std::vector<double> xm(bm.size());
+    const SspResult multi =
+        solver.solveBoundedStaleMultiRhs(bm, xm, nrhs, ssp, *ctx);
+    EXPECT_TRUE(multi.converged);
+    EXPECT_LE(multi.residual, tol);
+    for (index_t c = 0; c < nrhs; ++c) {
+      std::vector<double> bc(n), xc(n);
+      for (size_t i = 0; i < n; ++i) {
+        bc[i] = bm[i * static_cast<size_t>(nrhs) + static_cast<size_t>(c)];
+        xc[i] = xm[i * static_cast<size_t>(nrhs) + static_cast<size_t>(c)];
+      }
+      EXPECT_LE(exec::residualInf(lower, xc, bc), tol) << "column " << c;
+    }
+  }
+}
+
+TEST(SspDifferential, TeamOfOneIsExactForAnyStaleness) {
+  // With one thread every operand is same-thread, the guard never drops,
+  // and even huge staleness converges on the first sweep.
+  const auto lower = datagen::narrowBandLower({.n = 400, .seed = 9});
+  const auto n = static_cast<size_t>(lower.rows());
+  SolverOptions opts;
+  opts.num_threads = 4;
+  const auto solver = TriangularSolver::analyze(lower, opts);
+  auto ctx = solver.createContext();
+  const auto b = makeRhs(n, 1);
+  std::vector<double> x_exact(n);
+  solver.solve(b, x_exact, *ctx, 1, core::FoldPolicy::kModulo,
+               StorageKind::kSharedCsr);
+  SspOptions ssp;
+  ssp.staleness = 1000;
+  ssp.tolerance = kLooseTol;
+  std::vector<double> x(n);
+  const SspResult result = solver.solveBoundedStale(
+      b, x, ssp, *ctx, 1, core::FoldPolicy::kModulo, StorageKind::kSharedCsr);
+  EXPECT_EQ(result.refinements, 0);
+  EXPECT_EQ(exec::maxAbsDiff(x, x_exact), 0.0);
+}
+
+TEST(SspDifferential, CapFallbackReturnsExactSolution) {
+  const auto lower = datagen::erdosRenyiLower({.n = 400, .p = 8e-3,
+                                               .seed = 11});
+  const auto n = static_cast<size_t>(lower.rows());
+  SolverOptions opts;
+  opts.num_threads = 4;
+  opts.reorder = false;
+  const auto solver = TriangularSolver::analyze(lower, opts);
+  auto ctx = solver.createContext();
+  const auto b = makeRhs(n, 1);
+  std::vector<double> x_exact(n);
+  solver.solve(b, x_exact, *ctx, solver.numThreads(),
+               core::FoldPolicy::kModulo, StorageKind::kSharedCsr);
+
+  // An unreachable tolerance must trip the cap and fall back to the exact
+  // sweep — whose result is bitwise the exact executor's.
+  SspOptions ssp;
+  ssp.staleness = 2;
+  ssp.tolerance = 0.0;
+  ssp.max_refinements = 2;
+  std::vector<double> x(n);
+  const SspResult result = solver.solveBoundedStale(
+      b, x, ssp, *ctx, solver.numThreads(), core::FoldPolicy::kModulo,
+      StorageKind::kSharedCsr);
+  EXPECT_TRUE(result.fell_back);
+  EXPECT_EQ(result.refinements, 2);
+  EXPECT_EQ(exec::maxAbsDiff(x, x_exact), 0.0);
+
+  // max_refinements == 0 skips the loop entirely and still lands exact.
+  SspOptions none = ssp;
+  none.max_refinements = 0;
+  std::vector<double> x0(n);
+  const SspResult zero = solver.solveBoundedStale(
+      b, x0, none, *ctx, solver.numThreads(), core::FoldPolicy::kModulo,
+      StorageKind::kSharedCsr);
+  EXPECT_TRUE(zero.fell_back);
+  EXPECT_EQ(zero.refinements, 0);
+  EXPECT_EQ(exec::maxAbsDiff(x0, x_exact), 0.0);
+}
+
+TEST(SspDifferential, RejectsBadOptions) {
+  const auto lower = datagen::diagonalMatrix(16);
+  SolverOptions small;
+  small.num_threads = 2;
+  const auto solver = TriangularSolver::analyze(lower, small);
+  auto ctx = solver.createContext();
+  std::vector<double> b(16, 1.0), x(16);
+  SspOptions bad;
+  bad.staleness = -1;
+  EXPECT_THROW(solver.solveBoundedStale(b, x, bad, *ctx),
+               std::invalid_argument);
+  bad.staleness = 0;
+  bad.max_refinements = -1;
+  EXPECT_THROW(solver.solveBoundedStale(b, x, bad, *ctx),
+               std::invalid_argument);
+  std::vector<double> short_b(8, 1.0);
+  EXPECT_THROW(solver.solveBoundedStale(short_b, x, SspOptions{}, *ctx),
+               std::invalid_argument);
+}
+
+TEST(SspConcurrent, MixedExactAndSspSolvesAreSafe) {
+  // Concurrent exact and bounded-stale solves on one analyzed solver,
+  // each on its own context — the reentrancy contract under the new
+  // executor, TSan-covered in CI.
+  const auto lower = datagen::erdosRenyiLower({.n = 400, .p = 6e-3,
+                                               .seed = 13});
+  const auto n = static_cast<size_t>(lower.rows());
+  SolverOptions opts;
+  opts.num_threads = 4;
+  const auto solver = TriangularSolver::analyze(lower, opts);
+  const auto b = makeRhs(n, 1);
+  std::vector<double> expected(n);
+  {
+    auto ctx = solver.createContext();
+    solver.solve(b, expected, *ctx);
+  }
+  constexpr int kWorkers = 8;
+  std::vector<std::future<double>> residuals;
+  for (int w = 0; w < kWorkers; ++w) {
+    residuals.push_back(std::async(std::launch::async, [&, w] {
+      auto ctx = solver.createContext();
+      std::vector<double> x(n);
+      const int team = 1 + w % solver.numThreads();
+      const auto storage =
+          w % 2 == 0 ? StorageKind::kSharedCsr : StorageKind::kSlab;
+      double worst = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        if (w % 2 == 0) {
+          solver.solve(b, x, *ctx, team, core::FoldPolicy::kModulo, storage);
+          worst = std::max(worst, exec::maxAbsDiff(x, expected));
+        } else {
+          SspOptions ssp;
+          ssp.staleness = 1 + w % 3;
+          const SspResult result = solver.solveBoundedStale(
+              b, x, ssp, *ctx, team, core::FoldPolicy::kModulo, storage);
+          worst = std::max(worst, result.residual);
+        }
+      }
+      return worst;
+    }));
+  }
+  for (int w = 0; w < kWorkers; ++w) {
+    const double worst = residuals[static_cast<size_t>(w)].get();
+    if (w % 2 == 0) {
+      EXPECT_EQ(worst, 0.0) << "exact worker " << w;
+    } else {
+      EXPECT_LE(worst, 1e-8) << "ssp worker " << w;
+    }
+  }
+}
+
+TEST(SspProperty, RandomizedForwardErrorAndMonotonicity) {
+  // Randomized lower-triangular systems; on failure the SCOPED_TRACE
+  // lines identify the generator and seed to replay.
+  const double tol = 1e-9;
+  for (const std::uint64_t seed : {101, 102, 103, 104}) {
+    for (const bool banded : {false, true}) {
+      SCOPED_TRACE("seed " + std::to_string(seed) +
+                   (banded ? " narrowBandLower" : " erdosRenyiLower"));
+      const auto lower =
+          banded ? datagen::narrowBandLower({.n = 250, .seed = seed})
+                 : datagen::erdosRenyiLower({.n = 250, .p = 2e-2,
+                                             .seed = seed});
+      const auto n = static_cast<size_t>(lower.rows());
+      SolverOptions opts;
+      opts.num_threads = 4;
+      opts.reorder = false;
+      const auto solver = TriangularSolver::analyze(lower, opts);
+      auto ctx = solver.createContext();
+      const auto b = makeRhs(n, 1, static_cast<unsigned>(seed));
+      std::vector<double> x_exact(n);
+      solver.solve(b, x_exact, *ctx, solver.numThreads(),
+                   core::FoldPolicy::kModulo, StorageKind::kSharedCsr);
+      const double kappa = comparisonConditionBound(lower);
+
+      // Nested chunk widths (1, 2, 4, 8): every operand dropped at
+      // staleness s is also dropped at the next wider chunk, so the
+      // refinement count cannot meaningfully DECREASE as s grows.
+      std::vector<int> refinements;
+      for (const index_t staleness : {0, 1, 3, 7}) {
+        SspOptions ssp;
+        ssp.staleness = staleness;
+        ssp.tolerance = tol;
+        ssp.max_refinements = 50;
+        std::vector<double> x(n);
+        const SspResult result = solver.solveBoundedStale(
+            b, x, ssp, *ctx, solver.numThreads(), core::FoldPolicy::kModulo,
+            StorageKind::kSharedCsr);
+        EXPECT_TRUE(result.converged) << "staleness " << staleness;
+        // Forward error <= ||L^{-1}||_inf * ||r||_inf, with the Ostrowski
+        // comparison bound standing in for ||L^{-1}||_inf and a small
+        // absolute floor for rounding in the comparison itself.
+        EXPECT_LE(exec::maxAbsDiff(x, x_exact), kappa * tol + 1e-12)
+            << "staleness " << staleness << " kappa " << kappa;
+        refinements.push_back(result.refinements);
+      }
+      EXPECT_EQ(refinements.front(), 0);
+      for (size_t k = 0; k + 1 < refinements.size(); ++k) {
+        EXPECT_LE(refinements[k], refinements[k + 1] + 1)
+            << "refinement count dropped from staleness index " << k;
+      }
+    }
+  }
+}
+
+TEST(SspPlanChecks, ValidatorAcceptsShippedPlansAndRejectsViolations) {
+  // Shipped path: the executor's own lists must validate clean.
+  const auto lower = datagen::erdosRenyiLower({.n = 200, .p = 1.5e-2,
+                                               .seed = 17});
+  const auto dag = dag::Dag::fromLowerTriangular(lower);
+  const auto schedule = core::growLocalSchedule(dag, {.num_cores = 3});
+  exec::detail::FoldedLists lists;
+  lists.verts.resize(3);
+  lists.step_ptr.resize(3);
+  for (int t = 0; t < 3; ++t) {
+    auto& ptr = lists.step_ptr[static_cast<size_t>(t)];
+    ptr.push_back(0);
+    for (index_t s = 0; s < schedule.numSupersteps(); ++s) {
+      const auto group = schedule.group(s, t);
+      auto& verts = lists.verts[static_cast<size_t>(t)];
+      verts.insert(verts.end(), group.begin(), group.end());
+      ptr.push_back(static_cast<offset_t>(verts.size()));
+    }
+  }
+  EXPECT_TRUE(
+      check::validateSspPlan(lower, lists, schedule.numSupersteps()).ok);
+
+  // A cross-thread dependency in the SAME superstep breaks the s=0
+  // degeneracy precondition and must be rejected.
+  const auto chain = datagen::chainLower(2);
+  exec::detail::FoldedLists cross;
+  cross.verts = {{1}, {0}};
+  cross.step_ptr = {{0, 1}, {0, 1}};
+  const auto bad_cross = check::validateSspPlan(chain, cross, 1);
+  EXPECT_FALSE(bad_cross.ok);
+  EXPECT_NE(bad_cross.message.find("cross-thread"), std::string::npos);
+
+  // A same-thread dependency AGAINST the stream order is invalid however
+  // wide the chunk is.
+  exec::detail::FoldedLists backwards;
+  backwards.verts = {{1, 0}};
+  backwards.step_ptr = {{0, 2}};
+  const auto bad_order = check::validateSspPlan(chain, backwards, 1);
+  EXPECT_FALSE(bad_order.ok);
+  EXPECT_NE(bad_order.message.find("stream order"), std::string::npos);
+
+  // Ordered on one thread: fine (chunk width is irrelevant same-thread).
+  exec::detail::FoldedLists serial;
+  serial.verts = {{0, 1}};
+  serial.step_ptr = {{0, 2}};
+  EXPECT_TRUE(check::validateSspPlan(chain, serial, 1).ok);
+
+  // Cross-thread in STRICTLY earlier supersteps: fine.
+  exec::detail::FoldedLists staged;
+  staged.verts = {{0}, {1}};
+  staged.step_ptr = {{0, 1, 1}, {0, 0, 1}};
+  EXPECT_TRUE(check::validateSspPlan(chain, staged, 2).ok);
+}
+
+TEST(SspExecutorShape, CtorValidationAndChunkArithmetic) {
+  const auto lower = datagen::diagonalMatrix(6);
+  exec::detail::FoldedLists lists;
+  lists.verts = {{0, 1, 2}, {3, 4, 5}};
+  lists.step_ptr = {{0, 2, 3}, {0, 2, 3}};
+  const exec::SspExecutor ssp(lower, 2, lists);
+  EXPECT_EQ(ssp.numThreads(), 2);
+  EXPECT_EQ(ssp.numSupersteps(), 2);
+  EXPECT_EQ(ssp.numChunks(0), 2);
+  EXPECT_EQ(ssp.numChunks(1), 1);
+  EXPECT_EQ(ssp.numChunks(100), 1);
+
+  exec::detail::FoldedLists incomplete = lists;
+  incomplete.verts[1].pop_back();
+  EXPECT_THROW(exec::SspExecutor(lower, 2, incomplete),
+               std::invalid_argument);
+  exec::detail::FoldedLists bad_bounds = lists;
+  bad_bounds.step_ptr[0] = {0, 3};
+  EXPECT_THROW(exec::SspExecutor(lower, 2, bad_bounds),
+               std::invalid_argument);
+}
+
+TEST(SspEngine, BoundedStaleTierServesResidualsAndCounts) {
+  const auto lower = datagen::erdosRenyiLower({.n = 300, .p = 1e-2,
+                                               .seed = 19});
+  const auto n = static_cast<size_t>(lower.rows());
+  SolverOptions solver_opts;
+  solver_opts.num_threads = 2;
+  auto solver = std::make_shared<const TriangularSolver>(
+      TriangularSolver::analyze(lower, solver_opts));
+
+  engine::EngineOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch = 4;
+  opts.tier = engine::ServiceTier::kBoundedStale;
+  opts.stale_supersteps = 2;
+  opts.stale_tolerance = 1e-8;
+  engine::SolverEngine engine(opts);
+  const auto id = engine.registerSolver(solver);
+
+  std::vector<std::vector<double>> rhs;
+  for (unsigned j = 0; j < 12; ++j) rhs.push_back(makeRhs(n, 1, j));
+  std::vector<std::future<std::vector<double>>> futures;
+  for (const auto& b : rhs) futures.push_back(engine.submit(id, b));
+  // One multi-RHS request exercises the bounded-stale multi path too.
+  futures.push_back(engine.submitMulti(id, makeRhs(n, 2, 99), 2));
+  for (size_t j = 0; j < rhs.size(); ++j) {
+    const auto x = futures[j].get();
+    EXPECT_LE(exec::residualInf(lower, x, rhs[j]), opts.stale_tolerance)
+        << "request " << j;
+  }
+  futures.back().get();
+  engine.drain();
+
+  const auto stats = engine.stats(id);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_EQ(stats.batches_failed, 0u);
+  EXPECT_EQ(stats.ssp_batches, stats.batches);
+  EXPECT_LE(stats.last_residual, opts.stale_tolerance);
+  EXPECT_EQ(stats.tiled_batches, 0u);  // tiled stays an exact-tier layout
+  // Refinement counts are exported through the metrics registry.
+  const auto text = engine.metrics().renderText();
+  EXPECT_NE(text.find("sts.solver0.refine_iterations_count"),
+            std::string::npos);
+
+  // An exact-tier engine never reports SSP activity.
+  engine::SolverEngine exact_engine({.num_workers = 1});
+  const auto exact_id = exact_engine.registerSolver(solver);
+  exact_engine.submit(exact_id, makeRhs(n, 1)).get();
+  exact_engine.drain();
+  EXPECT_EQ(exact_engine.stats(exact_id).ssp_batches, 0u);
+  EXPECT_EQ(exact_engine.stats(exact_id).ssp_fallbacks, 0u);
+
+  EXPECT_THROW(engine::SolverEngine({.stale_supersteps = -1}),
+               std::invalid_argument);
+  EXPECT_THROW(engine::SolverEngine({.stale_max_refine = -1}),
+               std::invalid_argument);
+}
+
+TEST(SspEngine, StalenessZeroTierIsBitwiseExact) {
+  const auto lower = datagen::grid2dLaplacian5(12, 12).lowerTriangle();
+  const auto n = static_cast<size_t>(lower.rows());
+  SolverOptions solver_opts;
+  solver_opts.num_threads = 2;
+  auto solver = std::make_shared<const TriangularSolver>(
+      TriangularSolver::analyze(lower, solver_opts));
+  engine::EngineOptions opts;
+  opts.num_workers = 1;
+  opts.tier = engine::ServiceTier::kBoundedStale;
+  opts.stale_supersteps = 0;
+  opts.stale_tolerance = kLooseTol;
+  engine::SolverEngine engine(opts);
+  const auto id = engine.registerSolver(solver);
+  const auto b = makeRhs(n, 1);
+  std::vector<double> expected(n);
+  {
+    auto ctx = solver->createContext();
+    solver->solve(b, expected, *ctx);
+  }
+  EXPECT_EQ(engine.submit(id, b).get(), expected);
+  engine.drain();
+  const auto stats = engine.stats(id);
+  EXPECT_EQ(stats.ssp_batches, stats.batches);
+  EXPECT_EQ(stats.refine_iterations, 0u);
+  EXPECT_EQ(stats.ssp_fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace sts

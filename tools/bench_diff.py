@@ -113,6 +113,10 @@ def flatten_snapshot(snapshot):
                             [("", "matrix"), ("", "executor"),
                              ("", "storage"), ("team", "team"),
                              ("nrhs", "nrhs")]))
+    ssp = benches.get("ssp_staleness") or {}
+    out.update(flatten_rows(ssp.get("results", []), "ssp_staleness/",
+                            [("", "matrix"), ("", "executor"),
+                             ("team", "team"), ("s", "staleness")]))
     micro = benches.get("micro_kernels")
     if micro:
         out.update(flatten_google_benchmark(micro, "micro_kernels/"))

@@ -31,7 +31,7 @@ import subprocess
 import sys
 
 REQUIRED_BENCHES = ["bench_fold_policies", "bench_slab_locality",
-                    "bench_tiled_multirhs"]
+                    "bench_tiled_multirhs", "bench_ssp_staleness"]
 OPTIONAL_BENCHES = ["bench_micro_kernels"]
 
 
@@ -85,6 +85,7 @@ def main():
         env.setdefault("STS_FOLD_REPS", str(args.reps))
         env.setdefault("STS_SLAB_REPS", str(args.reps))
         env.setdefault("STS_TILED_REPS", str(args.reps))
+        env.setdefault("STS_SSP_REPS", str(args.reps))
 
     snapshot = {
         "snapshot": os.path.splitext(os.path.basename(args.out))[0],
@@ -132,7 +133,8 @@ def main():
 
     # Lift the host fields of the first JSON-line bench to the top level
     # so cross-snapshot tooling need not dig per bench.
-    for key in ("fold_policies", "slab_locality", "tiled_multirhs"):
+    for key in ("fold_policies", "slab_locality", "tiled_multirhs",
+                "ssp_staleness"):
         payload = snapshot["benches"].get(key)
         if payload:
             snapshot["host"] = {
