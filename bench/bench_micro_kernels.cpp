@@ -109,6 +109,17 @@ BENCHMARK(BM_BspSolveTraceIdle);
 BENCHMARK(BM_BspSolveTraceArmed);
 BENCHMARK(BM_BspSolveTraceSession);
 
+/// Failpoint-overhead guard row (docs/ROBUSTNESS.md): the same 2-thread
+/// BSP solve as BM_BspSolveTraceIdle, with every failpoint DISARMED. The
+/// row name is identical across STS_FAULTS=ON and =OFF builds, so
+/// tools/bench_diff.py can compare them directly: compiled-in-but-idle
+/// failpoints (one static ref + one relaxed load per superstep per
+/// thread) must not regress the solve by > 2% vs the compiled-out build.
+void BM_BspSolveFaultIdle(benchmark::State& state) {
+  BM_BspSolveTraced(state, /*armed=*/false, /*session=*/false);
+}
+BENCHMARK(BM_BspSolveFaultIdle);
+
 void BM_ContiguousSolve(benchmark::State& state) {
   const auto& lower = benchMatrix();
   const auto schedule = core::growLocalSchedule(benchDag(), {.num_cores = 2});

@@ -8,6 +8,7 @@
 
 #include "base/sync.hpp"
 #include "exec/affinity.hpp"
+#include "fault/failpoint.hpp"
 #include "harness/stats.hpp"
 #include "obs/trace.hpp"
 
@@ -70,6 +71,7 @@ CoreBudget SolverEngine::makeBudget(const EngineOptions& options) {
 
 SolverEngine::SolverEngine(EngineOptions options)
     : options_(std::move(options)),
+      queue_(options_.max_queue_depth),
       budget_(makeBudget(options_)),
       pin_enabled_(options_.pin_threads && budget_.hasCoreSet() &&
                    exec::affinitySupported()) {
@@ -99,6 +101,36 @@ SolverEngine::SolverEngine(EngineOptions options)
   }
   if (options_.stale_max_refine < 0) {
     throw std::invalid_argument("SolverEngine: stale_max_refine must be >= 0");
+  }
+  if (options_.overload_control && options_.overload_target_delay <= 0.0) {
+    throw std::invalid_argument(
+        "SolverEngine: overload_target_delay must be > 0");
+  }
+  if (options_.overload_hysteresis < 0.0) {
+    throw std::invalid_argument(
+        "SolverEngine: overload_hysteresis must be >= 0");
+  }
+  if (options_.overload_max_rung < 1) {
+    throw std::invalid_argument("SolverEngine: overload_max_rung must be >= 1");
+  }
+  if (options_.overload_tolerance_growth < 1.0) {
+    throw std::invalid_argument(
+        "SolverEngine: overload_tolerance_growth must be >= 1");
+  }
+  // Engine-wide lifecycle instruments exist whether or not the ladder
+  // runs: admitted/rejected/expired count the bounded-queue and deadline
+  // machinery too, and the batch-seconds histogram doubles as the
+  // controller's service-rate model.
+  batch_seconds_hist_ = &metrics_.histogram("sts.engine.batch_seconds");
+  admitted_counter_ = &metrics_.counter("sts.engine.admitted");
+  degraded_counter_ = &metrics_.counter("sts.engine.degraded");
+  rejected_counter_ = &metrics_.counter("sts.engine.rejected");
+  expired_counter_ = &metrics_.counter("sts.engine.expired");
+  overload_steps_counter_ = &metrics_.counter("sts.engine.overload_steps");
+  if (options_.overload_control) {
+    overload_ = std::make_unique<OverloadController>(
+        options_.overload_target_delay, options_.overload_hysteresis,
+        options_.overload_max_rung);
   }
   if (options_.start_paused) queue_.pause();
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
@@ -208,30 +240,89 @@ SolverEngine::Registered& SolverEngine::registered(SolverId id) const {
   return *solvers_[static_cast<std::size_t>(id)];
 }
 
-std::future<std::vector<double>> SolverEngine::enqueue(SolverId id,
-                                                       std::vector<double> b,
-                                                       sts::index_t nrhs) {
+SolveRequest SolverEngine::buildRequest(SolverId id, std::vector<double> b,
+                                        sts::index_t nrhs,
+                                        const SubmitOptions& opts,
+                                        Registered** reg_out) {
   Registered& reg = registered(id);
   const auto n = static_cast<std::size_t>(reg.solver->numRows());
   if (nrhs <= 0 || b.size() != n * static_cast<std::size_t>(nrhs)) {
     throw std::invalid_argument("SolverEngine::submit: rhs size mismatch");
+  }
+  if (opts.deadline_seconds < 0.0 || opts.max_queue_wait_seconds < 0.0) {
+    throw std::invalid_argument("SolverEngine::submit: negative deadline");
   }
   SolveRequest request;
   request.solver = id;
   request.nrhs = nrhs;
   request.b = std::move(b);
   request.submitted = std::chrono::steady_clock::now();
-  const auto submitted = request.submitted;
-  auto future = request.promise.get_future();
+  request.priority = opts.priority;
+  // The two budgets collapse into one absolute lazy-expiry point (the
+  // queue sweeps on expires_at only); 0 disables a budget.
+  const auto budget = [&](double seconds) {
+    return request.submitted +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(seconds));
+  };
+  if (opts.deadline_seconds > 0.0) {
+    request.expires_at = budget(opts.deadline_seconds);
+  }
+  if (opts.max_queue_wait_seconds > 0.0) {
+    request.expires_at =
+        std::min(request.expires_at, budget(opts.max_queue_wait_seconds));
+  }
+  *reg_out = &reg;
+  return request;
+}
 
+void SolverEngine::rejectRequest(SolveRequest&& request, Registered& reg,
+                                 const char* why) {
+  STS_TRACE_INSTANT("engine", "rejected", "solver",
+                    static_cast<std::uint64_t>(request.solver));
+  rejected_counter_->inc();
+  {
+    base::MutexLock lock(reg.stats_mu);
+    reg.rejected_requests += 1;
+  }
+  request.fail(std::make_exception_ptr(EngineError(
+      EngineErrorCode::kRejected,
+      std::string("SolverEngine: request rejected (") + why + ")")));
+  noteRetired(1);
+}
+
+void SolverEngine::dispatch(SolveRequest&& request, Registered& reg) {
+  const SolverId id = request.solver;
+  const sts::index_t nrhs = request.nrhs;
+  const auto submitted = request.submitted;
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  if (!queue_.push(std::move(request))) {
-    noteRetired(1);  // plain fetch_sub here could strand a drain() waiter
-    throw std::runtime_error("SolverEngine: submit after shutdown");
+  // Ladder-top admission control: at the reject rung only latency-class
+  // work is still admitted — shedding requests is the last resort, after
+  // precision shedding (the rungs below) stopped being enough.
+  if (overload_ && request.priority == RequestPriority::kThroughput &&
+      overload_->rung() >= overload_->maxRung()) {
+    rejectRequest(std::move(request), reg, "overload ladder at top rung");
+    return;
+  }
+  switch (queue_.push(std::move(request))) {
+    case RequestQueue::PushResult::kClosed:
+      // The caller still holds the future, but submit() propagates this
+      // throw instead of returning it — the legacy shutdown contract.
+      noteRetired(1);  // plain fetch_sub here could strand a drain() waiter
+      throw EngineError(EngineErrorCode::kShutdown,
+                        "SolverEngine: submit after shutdown");
+    case RequestQueue::PushResult::kFull:
+      // push leaves the request untouched on kFull, so it is still ours
+      // to fail — bounded queues reject instead of queueing unboundedly.
+      rejectRequest(std::move(request), reg, "queue full");
+      return;
+    case RequestQueue::PushResult::kAccepted:
+      break;
   }
   STS_TRACE_INSTANT("engine", "submit", "solver",
                     static_cast<std::uint64_t>(id), "nrhs",
                     static_cast<std::uint64_t>(nrhs));
+  admitted_counter_->inc();
   reg.requests_counter->inc();
   // Stats count accepted submissions only, hence after the push. A worker
   // may finish the request before this runs; the counters are monotonic
@@ -245,17 +336,45 @@ std::future<std::vector<double>> SolverEngine::enqueue(SolverId id,
       reg.saw_submit = true;
     }
   }
-  return future;
+  // The submit path feeds the ladder too: under a stalled or saturated
+  // worker pool, batch completions (the other feed) may be rare exactly
+  // when pressure is building.
+  if (overload_) overloadUpdate(std::chrono::steady_clock::now());
 }
 
 std::future<std::vector<double>> SolverEngine::submit(SolverId id,
                                                       std::vector<double> b) {
-  return enqueue(id, std::move(b), 1);
+  Registered* reg = nullptr;
+  SolveRequest request = buildRequest(id, std::move(b), 1, {}, &reg);
+  auto future = request.promise.get_future();
+  dispatch(std::move(request), *reg);
+  return future;
 }
 
 std::future<std::vector<double>> SolverEngine::submitMulti(
     SolverId id, std::vector<double> b, sts::index_t nrhs) {
-  return enqueue(id, std::move(b), nrhs);
+  Registered* reg = nullptr;
+  SolveRequest request = buildRequest(id, std::move(b), nrhs, {}, &reg);
+  auto future = request.promise.get_future();
+  dispatch(std::move(request), *reg);
+  return future;
+}
+
+std::future<SolveResponse> SolverEngine::submit(
+    SolverId id, std::vector<double> b, const SubmitOptions& submit_options) {
+  return submitMulti(id, std::move(b), 1, submit_options);
+}
+
+std::future<SolveResponse> SolverEngine::submitMulti(
+    SolverId id, std::vector<double> b, sts::index_t nrhs,
+    const SubmitOptions& submit_options) {
+  Registered* reg = nullptr;
+  SolveRequest request = buildRequest(id, std::move(b), nrhs, submit_options,
+                                      &reg);
+  request.extended = true;
+  auto future = request.promise_ex.get_future();
+  dispatch(std::move(request), *reg);
+  return future;
 }
 
 void SolverEngine::pause() { queue_.pause(); }
@@ -279,19 +398,92 @@ void SolverEngine::shutdown() {
   }
 }
 
+void SolverEngine::stop() {
+  queue_.close();
+  // Fail-fast the backlog BEFORE joining: a paused engine's workers are
+  // parked in popBatch and will wake from close() to an empty queue.
+  // Requests a worker pops concurrently simply execute — each request
+  // goes exactly one way.
+  auto queued = queue_.drainAll();
+  for (auto& request : queued) {
+    Registered& reg = registered(request.solver);
+    {
+      base::MutexLock lock(reg.stats_mu);
+      reg.rejected_requests += 1;
+    }
+    rejected_counter_->inc();
+    request.fail(std::make_exception_ptr(
+        EngineError(EngineErrorCode::kShutdown,
+                    "SolverEngine: stopped before dispatch")));
+  }
+  if (!queued.empty()) noteRetired(static_cast<std::int64_t>(queued.size()));
+  if (stopped_.exchange(true)) return;
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void SolverEngine::failExpired(std::vector<SolveRequest>& expired) {
+  for (auto& request : expired) {
+    Registered& reg = registered(request.solver);
+    STS_TRACE_INSTANT("engine", "expired", "solver",
+                      static_cast<std::uint64_t>(request.solver));
+    expired_counter_->inc();
+    {
+      base::MutexLock lock(reg.stats_mu);
+      reg.expired_requests += 1;
+    }
+    request.fail(std::make_exception_ptr(
+        EngineError(EngineErrorCode::kExpired,
+                    "SolverEngine: deadline expired before dispatch")));
+  }
+  noteRetired(static_cast<std::int64_t>(expired.size()));
+}
+
 void SolverEngine::workerLoop() {
   for (;;) {
     std::size_t backlog = 0;
+    std::vector<SolveRequest> expired;
     // The pre-pop depth (read under the queue lock) drives the adaptive
     // coalescing cap: a deep queue justifies a bigger batch exactly when
     // this worker commits to one.
     auto batch = queue_.popBatch(
         [this](std::size_t depth) { return effectiveBatchCap(depth); },
-        options_.coalesce, &backlog);
-    if (batch.empty()) return;  // closed and drained
+        options_.coalesce, &backlog, &expired);
+    // Stalled-worker failpoint (delay/stall actions only: a throw here
+    // would escape the thread function). Sits between pop and execute so
+    // a stall holds a COMMITTED batch — the regime where queue depth
+    // stops moving but the head age keeps growing.
+    STS_FAILPOINT("engine.worker_pop");
+    if (!expired.empty()) failExpired(expired);
+    if (batch.empty()) {
+      if (!expired.empty()) continue;  // only dead work this pop
+      return;                          // closed and drained
+    }
     executeBatch(batch, backlog);
     noteRetired(static_cast<std::int64_t>(batch.size()));
   }
+}
+
+double SolverEngine::estQueueDelay(
+    std::chrono::steady_clock::time_point now) const {
+  const double p50 = batch_p50_.load(std::memory_order_relaxed);
+  const double service =
+      p50 * static_cast<double>(queue_.size()) /
+      static_cast<double>(workers_.empty() ? 1 : workers_.size());
+  // max, not sum: the head wait already contains queueing history, the
+  // depth model already contains the head — either alone underestimates
+  // in a different regime (cold histogram vs. stalled worker).
+  return std::max(service, queue_.oldestWaitSeconds(now));
+}
+
+void SolverEngine::overloadUpdate(std::chrono::steady_clock::time_point now) {
+  const OverloadController::Step step = overload_->update(estQueueDelay(now));
+  if (!step.moved()) return;
+  overload_steps_counter_->inc();
+  STS_TRACE_INSTANT("engine", "overload_step", "from",
+                    static_cast<std::uint64_t>(step.from), "to",
+                    static_cast<std::uint64_t>(step.to));
 }
 
 int SolverEngine::baseTeam(const exec::TriangularSolver& solver) const {
@@ -431,13 +623,28 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   bool tiled_batch = false;
   double pack_elapsed = 0.0;
   double unpack_elapsed = 0.0;
+  // Ladder read: one relaxed load per batch, clamped below the reject
+  // rung (the top rung gates admission, not execution). Precision shed
+  // (rung > 0) forces the bounded-stale path on a kExact engine too, with
+  // staleness raised by the rung and tolerance relaxed by growth^rung — a
+  // kBoundedStale engine degrades FROM its configured staleness.
+  const int rung =
+      overload_ ? std::min(overload_->rung(), options_.overload_max_rung - 1)
+                : 0;
+  const bool shed = rung > 0;
   // Bounded-stale tier: route through the SSP executor with the engine's
   // staleness/tolerance knobs; what the refinement loop did feeds the
   // serving stats below.
-  const bool bounded_stale = options_.tier == ServiceTier::kBoundedStale;
+  const bool bounded_stale =
+      options_.tier == ServiceTier::kBoundedStale || shed;
   exec::SspOptions ssp_opts;
-  ssp_opts.staleness = options_.stale_supersteps;
-  ssp_opts.tolerance = options_.stale_tolerance;
+  ssp_opts.staleness = (options_.tier == ServiceTier::kBoundedStale
+                            ? options_.stale_supersteps
+                            : 0) +
+                       static_cast<sts::index_t>(rung);
+  ssp_opts.tolerance =
+      options_.stale_tolerance *
+      std::pow(options_.overload_tolerance_growth, static_cast<double>(rung));
   ssp_opts.max_refinements = options_.stale_max_refine;
   exec::SspResult ssp_result;
 
@@ -451,6 +658,10 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   const auto t0 = std::chrono::steady_clock::now();
   sts::index_t total_rhs = 0;
   try {
+    // Batch-failure failpoint: an armed `fail` action throws InjectedFault
+    // here, exercising the promise error path end to end (every request
+    // in the batch resolves exceptionally, stats count a failed batch).
+    STS_FAILPOINT("engine.batch_execute");
     auto lease = reg.contexts->acquire();
     if (pin_batch) {
       lease.context().setPinnedCores(
@@ -601,15 +812,33 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
     error = std::current_exception();
   }
   const auto t1 = std::chrono::steady_clock::now();
+  const double batch_seconds = std::chrono::duration<double>(t1 - t0).count();
   STS_TRACE_INSTANT("engine", "batch_done", "rhs",
                     static_cast<std::uint64_t>(total_rhs), "team",
                     static_cast<std::uint64_t>(team));
+  // Refresh the controller's service-rate model and take one ladder step
+  // off the post-batch queue state — BEFORE the promises resolve, so a
+  // client reacting to its future already sees the stepped-down rung.
+  batch_seconds_hist_->record(batch_seconds);
+  batch_p50_.store(batch_seconds_hist_->quantile(0.5),
+                   std::memory_order_relaxed);
+  if (overload_) overloadUpdate(t1);
 
+  // How (whether) this batch was degraded, stamped on every response the
+  // extended futures carry — precision shedding is visible, never silent.
+  DegradeInfo degrade;
+  degrade.tier =
+      bounded_stale ? ServiceTier::kBoundedStale : ServiceTier::kExact;
+  degrade.staleness = bounded_stale ? ssp_opts.staleness : 0;
+  degrade.rung = rung;
+  degrade.residual = bounded_stale ? ssp_result.residual : 0.0;
+  degrade.tolerance = bounded_stale ? ssp_opts.tolerance : 0.0;
+  degrade.degraded = shed;
   for (std::size_t j = 0; j < k; ++j) {
     if (error) {
-      batch[j].promise.set_exception(error);
+      batch[j].fail(error);
     } else {
-      batch[j].promise.set_value(std::move(results[j]));
+      batch[j].resolve(std::move(results[j]), degrade);
     }
   }
 
@@ -630,6 +859,10 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
   reg.migrated_threads += migrated_threads;
   if (!error && storage == exec::StorageKind::kSlab) reg.slab_batches += 1;
   if (!error && tiled_batch) reg.tiled_batches += 1;
+  if (!error && shed) {
+    reg.degraded_batches += 1;
+    degraded_counter_->add(static_cast<std::uint64_t>(k));
+  }
   if (!error && bounded_stale) {
     reg.ssp_batches += 1;
     reg.refine_iterations += static_cast<std::uint64_t>(ssp_result.refinements);
@@ -640,7 +873,7 @@ void SolverEngine::executeBatch(std::vector<SolveRequest>& batch,
       reg.ssp_fallbacks_counter->inc();
     }
   }
-  reg.busy_seconds += std::chrono::duration<double>(t1 - t0).count();
+  reg.busy_seconds += batch_seconds;
   reg.pack_seconds += pack_elapsed;
   reg.unpack_seconds += unpack_elapsed;
   reg.last_complete = t1;
@@ -718,6 +951,9 @@ SolverServingStats SolverEngine::stats(SolverId id) const {
     out.refine_iterations = reg.refine_iterations;
     out.ssp_fallbacks = reg.ssp_fallbacks;
     out.last_residual = reg.last_residual;
+    out.rejected_requests = reg.rejected_requests;
+    out.expired_requests = reg.expired_requests;
+    out.degraded_batches = reg.degraded_batches;
     out.busy_seconds = reg.busy_seconds;
     out.pack_seconds = reg.pack_seconds;
     out.unpack_seconds = reg.unpack_seconds;

@@ -13,6 +13,7 @@
 #include "base/sync.hpp"
 #include "engine/context_pool.hpp"
 #include "engine/core_budget.hpp"
+#include "engine/overload.hpp"
 #include "engine/request_queue.hpp"
 #include "engine/types.hpp"
 #include "exec/solver.hpp"
@@ -85,6 +86,14 @@
 ///    exact-tier layout (bounded-stale batches run row-major).
 ///  * Per-solver throughput/latency statistics aggregate via the
 ///    harness::stats quantile helpers (SolverServingStats).
+///  * Request lifecycle (PR 10, docs/ROBUSTNESS.md): the SubmitOptions
+///    overloads attach a priority class and deadlines to each request;
+///    admission control (EngineOptions::max_queue_depth,
+///    overload_control) resolves refused work with typed EngineErrors;
+///    the overload ladder (engine/overload.hpp) sheds precision —
+///    bounded-stale batches with raised staleness, visible per-response
+///    as DegradeInfo — before it sheds requests. Every accepted future
+///    resolves, whatever happens to the engine.
 
 namespace sts::engine {
 
@@ -131,6 +140,18 @@ class SolverEngine {
                                                std::vector<double> b,
                                                sts::index_t nrhs);
 
+  /// Lifecycle-aware submission: priority class plus optional deadlines
+  /// (SubmitOptions). The future carries the solution AND its DegradeInfo;
+  /// refused or expired requests resolve it with a typed EngineError
+  /// (kRejected / kExpired / kShutdown) — it NEVER blocks forever. Throws
+  /// EngineError{kShutdown} after shutdown, std::invalid_argument on bad
+  /// sizes or negative deadlines.
+  std::future<SolveResponse> submit(SolverId id, std::vector<double> b,
+                                    const SubmitOptions& submit_options);
+  std::future<SolveResponse> submitMulti(SolverId id, std::vector<double> b,
+                                         sts::index_t nrhs,
+                                         const SubmitOptions& submit_options);
+
   /// Pause/resume dispatch (submissions still enqueue while paused).
   void pause();
   void resume();
@@ -142,6 +163,13 @@ class SolverEngine {
   /// Drains, then joins the workers. Idempotent; implied by destruction.
   /// Subsequent submissions throw.
   void shutdown();
+
+  /// Fail-fast shutdown: queued (not yet popped) requests resolve their
+  /// futures with EngineError{kShutdown} instead of executing; in-flight
+  /// batches still finish (the executor is not preemptible). Idempotent,
+  /// and safe to race with shutdown()/destruction — every queued request
+  /// goes exactly one way (served, or failed-fast here).
+  void stop();
 
   /// Snapshot of one solver's serving statistics. Thread-safe.
   SolverServingStats stats(SolverId id) const;
@@ -167,6 +195,9 @@ class SolverEngine {
   /// options().core_budget > 0). peakInUse() <= options().core_budget is
   /// the oversubscription invariant the tests pin.
   const CoreBudget& coreBudget() const { return budget_; }
+  /// The degradation ladder's current rung (0 when overload_control is
+  /// off or the ladder is idle). Observability for tests and benches.
+  int overloadRung() const { return overload_ ? overload_->rung() : 0; }
 
  private:
   /// Sliding window of recent request latencies feeding the SLO
@@ -239,6 +270,9 @@ class SolverEngine {
     std::uint64_t ssp_batches STS_GUARDED_BY(stats_mu) = 0;
     std::uint64_t refine_iterations STS_GUARDED_BY(stats_mu) = 0;
     std::uint64_t ssp_fallbacks STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t rejected_requests STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t expired_requests STS_GUARDED_BY(stats_mu) = 0;
+    std::uint64_t degraded_batches STS_GUARDED_BY(stats_mu) = 0;
     double last_residual STS_GUARDED_BY(stats_mu) = 0.0;
     double busy_seconds STS_GUARDED_BY(stats_mu) = 0.0;
     double pack_seconds STS_GUARDED_BY(stats_mu) = 0.0;
@@ -297,8 +331,30 @@ class SolverEngine {
   /// mode otherwise.
   static CoreBudget makeBudget(const EngineOptions& options);
   Registered& registered(SolverId id) const;
-  std::future<std::vector<double>> enqueue(SolverId id, std::vector<double> b,
-                                           sts::index_t nrhs);
+  /// Validate sizes/deadlines and build the internal request record (the
+  /// promise is still unarmed — the caller picks legacy vs extended).
+  SolveRequest buildRequest(SolverId id, std::vector<double> b,
+                            sts::index_t nrhs, const SubmitOptions& opts,
+                            Registered** reg_out);
+  /// Admission control + enqueue: either the request lands in the queue
+  /// (admitted) or its future resolves with a typed EngineError right here
+  /// (kRejected on a full queue / ladder-top throughput work); throws
+  /// EngineError{kShutdown} when the queue is closed. Feeds the overload
+  /// controller on every accepted submission.
+  void dispatch(SolveRequest&& request, Registered& reg);
+  /// Resolve `request` with EngineError{kRejected} and account it.
+  void rejectRequest(SolveRequest&& request, Registered& reg,
+                     const char* why);
+  /// Resolve lazily-expired requests (swept out by popBatch) with
+  /// EngineError{kExpired} and retire them from in_flight_.
+  void failExpired(std::vector<SolveRequest>& expired);
+  /// The overload controller's input: estimated queue delay, the max of
+  /// (depth x p50 batch seconds / workers) and the oldest queued wait —
+  /// the latter keeps a stalled worker visible when depth alone is static.
+  double estQueueDelay(std::chrono::steady_clock::time_point now) const;
+  /// One ladder decision off a fresh delay estimate; transitions emit an
+  /// `overload_step` trace instant and count in sts.engine.overload_steps.
+  void overloadUpdate(std::chrono::steady_clock::time_point now);
 
   EngineOptions options_;
   RequestQueue queue_;
@@ -309,6 +365,20 @@ class SolverEngine {
   /// platform has affinity syscalls — the three conditions under which
   /// executeBatch arms per-batch pinning.
   bool pin_enabled_ = false;
+  /// The degradation ladder (EngineOptions::overload_control; null = off).
+  std::unique_ptr<OverloadController> overload_;
+  /// Engine-wide lifecycle instruments (owned by metrics_, set in the
+  /// ctor, updated lock-free).
+  obs::Histogram* batch_seconds_hist_ = nullptr;
+  obs::Counter* admitted_counter_ = nullptr;
+  obs::Counter* degraded_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* expired_counter_ = nullptr;
+  obs::Counter* overload_steps_counter_ = nullptr;
+  /// Cached p50 of sts.engine.batch_seconds, refreshed at each batch
+  /// completion so the submit-path delay estimate never walks histogram
+  /// buckets.
+  std::atomic<double> batch_p50_{0.0};
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
 

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <future>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "exec/storage.hpp"
@@ -41,6 +43,97 @@ inline const char* serviceTierName(ServiceTier tier) {
   return tier == ServiceTier::kExact ? "exact" : "bounded-stale";
 }
 
+/// Scheduling class of a submission (SubmitOptions::priority).
+///
+/// kLatency requests are interactive traffic: they jump the queue ahead of
+/// throughput work, are never coalesced behind a throughput batch, and —
+/// under admission control — are the last class the overload ladder
+/// rejects. kThroughput (the default, and the class of every legacy
+/// submit() call) is bulk work that tolerates queueing: it ages into
+/// batches under latency pressure (the starvation bump) and is shed first
+/// when the engine saturates.
+enum class RequestPriority {
+  kThroughput,
+  kLatency,
+};
+
+inline const char* requestPriorityName(RequestPriority priority) {
+  return priority == RequestPriority::kLatency ? "latency" : "throughput";
+}
+
+/// Per-submission lifecycle knobs (the extended submit()/submitMulti()
+/// overloads; the legacy overloads behave as all-defaults). Durations are
+/// relative to the submit call; 0 disables the respective deadline.
+struct SubmitOptions {
+  RequestPriority priority = RequestPriority::kThroughput;
+  /// End-to-end budget: a request not yet COMMITTED to a batch when this
+  /// expires is lazily dropped at the next queue pop and its future
+  /// resolves with EngineError{kExpired}. 0 = no deadline. (Once a worker
+  /// commits a batch it always finishes it — the executor is not
+  /// preemptible — so expiry is an admission-side contract.)
+  double deadline_seconds = 0.0;
+  /// Queue-wait-only budget, tighter than `deadline_seconds` for requests
+  /// that would rather fail fast than serve a stale answer. 0 = none.
+  double max_queue_wait_seconds = 0.0;
+};
+
+/// Why a request's future was resolved exceptionally (EngineError::code).
+enum class EngineErrorCode {
+  kRejected,  ///< admission control refused it (queue full / ladder top)
+  kExpired,   ///< deadline or max_queue_wait elapsed while queued
+  kShutdown,  ///< the engine stopped before the request could run
+};
+
+inline const char* engineErrorCodeName(EngineErrorCode code) {
+  switch (code) {
+    case EngineErrorCode::kRejected: return "rejected";
+    case EngineErrorCode::kExpired: return "expired";
+    case EngineErrorCode::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+/// The typed error every non-completed request resolves with — futures
+/// NEVER dangle unresolved, whatever happens to the engine (the lifecycle
+/// contract, docs/ROBUSTNESS.md). Derives from std::runtime_error so
+/// pre-existing catch sites keep working.
+class EngineError : public std::runtime_error {
+ public:
+  EngineError(EngineErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  EngineErrorCode code() const { return code_; }
+
+ private:
+  EngineErrorCode code_;
+};
+
+/// How (whether) the overload ladder degraded one response — attached to
+/// every SolveResponse so clients can see the precision they were served
+/// (precision-shedding is visible, never silent).
+struct DegradeInfo {
+  /// The tier the batch actually ran (kBoundedStale when the ladder was
+  /// engaged, even on a kExact-configured engine).
+  ServiceTier tier = ServiceTier::kExact;
+  /// Effective SSP staleness of the batch (0 on the exact tier).
+  sts::index_t staleness = 0;
+  /// The ladder rung at execution: 0 = idle (configured behavior),
+  /// 1..overload_max_rung-1 = bounded-stale precision shedding.
+  int rung = 0;
+  /// Final ||b - T x||_inf of the refinement loop (0 on exact solves).
+  double residual = 0.0;
+  /// The tolerance the refinement was held to (0 on exact solves).
+  double tolerance = 0.0;
+  /// Convenience: rung > 0, i.e. this response was degraded by overload
+  /// rather than by the engine's configured tier.
+  bool degraded = false;
+};
+
+/// The extended-submit result: the solution plus its degradation record.
+struct SolveResponse {
+  std::vector<double> x;
+  DegradeInfo degrade;
+};
+
 /// ## How the adaptive options interact
 ///
 /// `fold_policy` / `storage` (exec::SolverOptions), `target_p95`,
@@ -58,6 +151,8 @@ inline const char* serviceTierName(ServiceTier tier) {
 /// | `storage` (engine or solver) | WHAT memory layout the hot loop walks | engine `storage` overrides each solver's `SolverOptions::storage` when set; kSlab streams per-(team, policy) thread-local packed records, kSharedCsr walks the analyzed CSR. Layout only — results stay bitwise identical |
 /// | `tiled`                | HOW multi-RHS batches are laid out | on (default): coalesced batches pack straight into the solver's cache-sized column tiles (exec/tile.hpp) and run the tiled executor path — register-blocked CSR kernels, L2-resident RHS. off: the row-major solveMultiRhs path. Layout only — results stay bitwise identical; composes with every row above (`storage` picks the matrix side, `tiled` the RHS side) |
 /// | `tier`                 | WHICH numerical contract batches satisfy | kExact (default): bitwise-deterministic direct solves. kBoundedStale: SSP sweeps with `stale_supersteps` relaxed barriers + residual-checked refinement to `stale_tolerance` (cap `stale_max_refine`, then exact fallback). Composes with every row above — elasticity, budget, pinning, and storage apply unchanged; `tiled` applies to the exact tier only (bounded-stale batches run the row-major SSP path). Refinement counts/residuals land in SolverServingStats and the metrics registry |
+/// | `max_queue_depth`      | HOW MUCH backlog the queue may hold | 0 (default): unbounded (every accepted submission queues). >0: submissions beyond the bound resolve their future with `EngineError{kRejected}` — bounded memory and bounded queue delay instead of queue collapse. Composes with every row above; rejection happens before any adaptive machinery sees the request |
+/// | `overload_control`     | WHETHER the degradation ladder runs | off (default): the configured `tier` serves every batch, nothing is rejected by pressure. on: an `OverloadController` (hysteresis like the SLO controller) estimates queue delay from depth x the registry's batch-latency histogram (and the oldest queued wait) and walks exact -> bounded-stale precision shedding (staleness/tolerance raised per rung, surfaced per-response in `DegradeInfo`) -> reject new throughput-class work at the top rung. Composes with `tier`: a kBoundedStale engine degrades FROM its configured staleness. Every transition is a trace instant + registry counters (`sts.engine.admitted/degraded/rejected/expired`) |
 /// | `trace`                | WHETHER batches attribute compute vs. wait | on (default): every batch arms a per-solve obs::SolveTrace so `traceSummary()` aggregates per-superstep compute/wait per (team, storage); executor threads batch the accounting locally and flush once per region. off: attribution idle (executors see a null sink — one branch per call site). Independent of the process-wide obs::TraceSession (Perfetto spans), which any thread can start regardless. Orthogonal to all rows above — tracing never changes results (bitwise) |
 ///
 /// Pipeline per batch: elastic policy picks a DESIRED width → CoreBudget
@@ -169,6 +264,33 @@ struct EngineOptions {
   double stale_tolerance = 1e-8;
   /// kBoundedStale only: refinement sweeps before the exact fallback.
   int stale_max_refine = 20;
+  /// Bound on queued (not yet popped) requests; pushes beyond it resolve
+  /// the future with EngineError{kRejected}. 0 = unbounded (legacy).
+  std::size_t max_queue_depth = 0;
+  /// Master switch of the admission-control + degradation ladder (see the
+  /// option table row above). Off by default: the ladder never moves and
+  /// nothing is rejected by pressure.
+  bool overload_control = false;
+  /// Ladder rung r is appropriate while the estimated queue delay sits in
+  /// [r, r+1) x this target (seconds). Smaller = the ladder engages
+  /// earlier. Must be > 0 when `overload_control` is set.
+  double overload_target_delay = 0.05;
+  /// Hysteresis band on the way DOWN the ladder (in target-delay units):
+  /// the rung only steps down once pressure clears the current rung by
+  /// this margin, so the ladder cannot dither at a rung boundary — the
+  /// same asymmetry as the SLO controller's deadband.
+  double overload_hysteresis = 0.5;
+  /// Top of the ladder: rungs 1..overload_max_rung-1 shed precision
+  /// (bounded-stale with staleness raised by the rung); at the top rung
+  /// new throughput-class submissions are rejected (latency-class work is
+  /// still admitted). Must be >= 1.
+  int overload_max_rung = 3;
+  /// Tolerance multiplier per ladder rung: rung r serves at
+  /// stale_tolerance x growth^r. The default 1.0 keeps the configured
+  /// tolerance at every rung (the refinement loop simply works harder), so
+  /// degraded residuals always stay <= stale_tolerance — raise it only
+  /// when refinement itself is the bottleneck under overload.
+  double overload_tolerance_growth = 1.0;
   /// Arm per-batch compute-vs-wait attribution (obs::SolveTrace on the
   /// leased context): `traceSummary()` then reports per-superstep compute
   /// and barrier/p2p-wait time per (team, storage) combination. The cost
@@ -180,13 +302,42 @@ struct EngineOptions {
 };
 
 /// One queued solve. `b` is row-major n x nrhs in the ORIGINAL row
-/// ordering; the fulfilled future carries x in the same layout.
+/// ordering; the fulfilled future carries x in the same layout. Exactly
+/// one of the two promises is armed: the legacy vector promise for the
+/// plain submit() overloads, the SolveResponse promise (extended == true)
+/// for the SubmitOptions overloads — either way the engine resolves it
+/// exactly once (value, or a typed EngineError / solve exception).
 struct SolveRequest {
   SolverId solver = 0;
   sts::index_t nrhs = 1;
   std::vector<double> b;
   std::promise<std::vector<double>> promise;
   std::chrono::steady_clock::time_point submitted{};
+  RequestPriority priority = RequestPriority::kThroughput;
+  /// Absolute lazy-expiry point: min over the submission's deadline and
+  /// max-queue-wait budgets (time_point::max() = never). A request still
+  /// queued past this resolves with EngineError{kExpired} at the next pop.
+  std::chrono::steady_clock::time_point expires_at =
+      std::chrono::steady_clock::time_point::max();
+  bool extended = false;
+  std::promise<SolveResponse> promise_ex;
+
+  /// Resolve whichever promise is armed with a success value.
+  void resolve(std::vector<double>&& x, const DegradeInfo& degrade) {
+    if (extended) {
+      promise_ex.set_value(SolveResponse{std::move(x), degrade});
+    } else {
+      promise.set_value(std::move(x));
+    }
+  }
+  /// Resolve whichever promise is armed with an exception.
+  void fail(std::exception_ptr error) {
+    if (extended) {
+      promise_ex.set_exception(std::move(error));
+    } else {
+      promise.set_exception(std::move(error));
+    }
+  }
 };
 
 /// Per-solver serving statistics (SolverEngine::stats snapshot).
@@ -256,6 +407,16 @@ struct SolverServingStats {
   std::uint64_t ssp_fallbacks = 0;
   /// Final ||b - T x||_inf of the most recent bounded-stale batch.
   double last_residual = 0.0;
+  /// Submissions refused by admission control (bounded queue full, or the
+  /// overload ladder at its top rung for throughput-class work). Their
+  /// futures resolved with EngineError{kRejected}.
+  std::uint64_t rejected_requests = 0;
+  /// Requests lazily dropped at queue pop because their deadline or
+  /// max-queue-wait budget elapsed (EngineError{kExpired}).
+  std::uint64_t expired_requests = 0;
+  /// Batches served at an overload-ladder rung > 0 (precision shed:
+  /// bounded-stale with raised staleness; DegradeInfo on every response).
+  std::uint64_t degraded_batches = 0;
   /// Latency quantiles over every completion, from the registry's
   /// log-bucketed histogram (<= ~9% relative bucket error — see
   /// obs/registry.hpp; prior PRs computed them exactly over a 64Ki-sample

@@ -7,6 +7,7 @@
 #include "exec/affinity.hpp"
 #include "exec/row_kernels.hpp"
 #include "exec/serial.hpp"
+#include "fault/failpoint.hpp"
 #include "obs/trace.hpp"
 
 namespace sts::exec {
@@ -39,6 +40,10 @@ void slabSuperstepRegion(const detail::SlabPlan& plan, index_t steps,
     std::uint64_t step = 0;
     int sense = barrier.initialSense();
     detail::forEachSlabRecord(plan.threads[t], steps, kernel, [&] {
+      // Superstep latency-spike failpoint (delay actions only: a throw
+      // escaping this omp region would terminate). A rank-filtered delay
+      // here models a straggler thread stretching every barrier.
+      STS_FAILPOINT_RANK("exec.superstep", t);
       tracer.computeDone(step);
       if (sync) {
         barrier.wait(sense, team);
@@ -194,6 +199,8 @@ void BspExecutor::solve(std::span<const double> b, std::span<double> x,
       for (size_t k = begin; k < end; ++k) {
         computeRow(row_ptr, col_idx, values, b, x, verts[k]);
       }
+      // Same straggler failpoint as the slab region (delay actions only).
+      STS_FAILPOINT_RANK("exec.superstep", t);
       tracer.computeDone(static_cast<std::uint64_t>(s));
       if (sync) {
         barrier.wait(sense, team);
@@ -568,6 +575,9 @@ void ContiguousBspExecutor::solve(std::span<const double> b,
         for (index_t i = lo; i < hi; ++i) {
           computeRow(row_ptr, col_idx, values, b, x, i);
         }
+        // Superstep latency-spike failpoint (delay actions only; a throw
+        // escaping this omp region would terminate the process).
+        STS_FAILPOINT_RANK("exec.superstep", t);
         tracer.computeDone(static_cast<std::uint64_t>(s));
         if (sync) {
           barrier.wait(sense, team);
@@ -597,6 +607,7 @@ void ContiguousBspExecutor::solve(std::span<const double> b,
           computeRow(row_ptr, col_idx, values, b, x, i);
         }
       }
+      STS_FAILPOINT_RANK("exec.superstep", t);
       tracer.computeDone(static_cast<std::uint64_t>(s));
       if (sync) {
         barrier.wait(sense, team);

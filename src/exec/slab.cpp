@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "check/check.hpp"
+#include "fault/failpoint.hpp"
 
 namespace sts::exec::detail {
 
@@ -19,6 +20,10 @@ AlignedBytes::AlignedBytes(std::size_t bytes) : size_(bytes) {
 
 SlabPlan buildSlabPlan(const sparse::CsrMatrix& lower,
                        const FoldedLists& lists) {
+  // Allocation-failure failpoint: a serial call site (plans build before
+  // any parallel region), so `fail`/`badalloc` actions may throw here and
+  // surface through the caller's normal error path.
+  STS_FAILPOINT("exec.slab_build");
   const auto row_ptr = lower.rowPtr();
   const auto col_idx = lower.colIdx();
   const auto values = lower.values();

@@ -11,6 +11,7 @@
 #include "exec/affinity.hpp"
 #include "exec/row_kernels.hpp"
 #include "exec/serial.hpp"
+#include "fault/failpoint.hpp"
 #include "obs/trace.hpp"
 
 namespace sts::exec {
@@ -64,6 +65,9 @@ void sspSlabChunkRegion(const detail::SlabPlan& plan, index_t steps,
         [&] {
           ++step;
           if (step % chunk == 0 || step == steps) {
+            // Chunk-boundary latency-spike failpoint (delay actions only:
+            // a throw escaping this omp region would terminate).
+            STS_FAILPOINT_RANK("exec.ssp_chunk", t);
             tracer.computeDone(chunk_idx);
             if (sync) {
               barrier.wait(sense, team);
@@ -253,6 +257,8 @@ void SspExecutor::sweep(std::span<const double> rhs, std::span<double> x,
           }
         }
       }
+      // Same chunk-boundary failpoint as the slab region (delay only).
+      STS_FAILPOINT_RANK("exec.ssp_chunk", t);
       tracer.computeDone(chunk_idx);
       if (sync) {
         barrier.wait(sense, team);

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <string>
 
+#include "fault/failpoint.hpp"
+
 namespace sts::exec {
 
 namespace {
@@ -101,6 +103,9 @@ const CacheGeometry& cacheGeometry() {
 }
 
 index_t pickTileCols(index_t rows) {
+  // Tile-build failure failpoint: a serial site (layout choice precedes
+  // any parallel region), so `fail`/`badalloc` actions may throw here.
+  STS_FAILPOINT("exec.tile_build");
   if (const char* env = std::getenv("STS_TILE_COLS")) {
     const long v = std::atol(env);
     if (v >= 1) return static_cast<index_t>(v);

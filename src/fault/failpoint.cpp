@@ -1,0 +1,242 @@
+#include "fault/failpoint.hpp"
+
+#include <chrono>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+namespace sts::fault {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+/// FNV-1a over the point name: folds the name into the trigger hash so
+/// two points under one seed never share a schedule.
+std::uint64_t nameHash(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool wouldTrigger(std::uint64_t seed, const std::string& name, int rank,
+                  std::uint64_t hit_index, double probability) {
+  if (probability >= 1.0) return true;
+  if (probability <= 0.0) return false;
+  const std::uint64_t h = splitmix64(
+      seed ^ nameHash(name) ^
+      (static_cast<std::uint64_t>(static_cast<unsigned>(rank)) << 48) ^
+      hit_index);
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return u < probability;
+}
+
+void Failpoint::fire(int rank) {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (rank_filter_ >= 0 && rank != rank_filter_) return;
+  const int slot =
+      rank < 0 ? 0 : (rank >= kMaxRanks ? kMaxRanks - 1 : rank);
+  const std::uint64_t hit_index = rank_hits_[static_cast<std::size_t>(slot)]
+                                      .fetch_add(1, std::memory_order_relaxed);
+  if (!wouldTrigger(seed_, name_, slot, hit_index, probability_)) return;
+  if (limit_ > 0) {
+    // The limit bounds TRIGGERS, not arrivals: claim a slot atomically so
+    // concurrent ranks cannot overshoot, then disarm at the boundary.
+    const std::uint64_t claimed =
+        triggers_.fetch_add(1, std::memory_order_relaxed);
+    if (claimed >= limit_) return;
+    if (claimed + 1 == limit_) armed_.store(false, std::memory_order_relaxed);
+  } else {
+    triggers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  switch (action_) {
+    case FaultAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::microseconds(value_));
+      break;
+    case FaultAction::kStall:
+      std::this_thread::sleep_for(std::chrono::milliseconds(value_));
+      break;
+    case FaultAction::kFail:
+      throw InjectedFault(name_);
+    case FaultAction::kBadAlloc:
+      throw std::bad_alloc();
+  }
+}
+
+void Failpoint::arm(FaultAction action, std::uint64_t value,
+                    double probability, int rank_filter, std::uint64_t limit,
+                    std::uint64_t seed) {
+  action_ = action;
+  value_ = value;
+  probability_ = probability;
+  rank_filter_ = rank_filter;
+  limit_ = limit;
+  seed_ = seed;
+  hits_.store(0, std::memory_order_relaxed);
+  triggers_.store(0, std::memory_order_relaxed);
+  for (auto& h : rank_hits_) h.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void Failpoint::disarm() {
+  armed_.store(false, std::memory_order_release);
+  hits_.store(0, std::memory_order_relaxed);
+  triggers_.store(0, std::memory_order_relaxed);
+  for (auto& h : rank_hits_) h.store(0, std::memory_order_relaxed);
+}
+
+FailpointRegistry& FailpointRegistry::global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+Failpoint& FailpointRegistry::failpoint(const std::string& name) {
+  base::MutexLock lock(mu_);
+  auto& slot = points_[name];
+  if (!slot) slot = std::make_unique<Failpoint>(name);
+  return *slot;
+}
+
+namespace {
+
+struct Clause {
+  std::string point;
+  FaultAction action = FaultAction::kDelay;
+  std::uint64_t value = 0;
+  double probability = 1.0;
+  int rank_filter = -1;
+  std::uint64_t limit = 0;
+};
+
+[[noreturn]] void specError(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("fault spec '" + spec + "': " + why);
+}
+
+Clause parseClause(const std::string& spec, const std::string& clause) {
+  Clause out;
+  const auto eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    specError(spec, "clause '" + clause + "' lacks point=action");
+  }
+  out.point = clause.substr(0, eq);
+
+  // action[(value)] then ,key=value modifiers.
+  std::size_t pos = eq + 1;
+  const auto next_delim = clause.find_first_of(",(", pos);
+  std::string action = clause.substr(pos, next_delim == std::string::npos
+                                              ? std::string::npos
+                                              : next_delim - pos);
+  bool needs_value = false;
+  if (action == "delay") {
+    out.action = FaultAction::kDelay;
+    needs_value = true;
+  } else if (action == "stall") {
+    out.action = FaultAction::kStall;
+    needs_value = true;
+  } else if (action == "fail") {
+    out.action = FaultAction::kFail;
+  } else if (action == "badalloc") {
+    out.action = FaultAction::kBadAlloc;
+  } else {
+    specError(spec, "unknown action '" + action + "'");
+  }
+  pos = next_delim == std::string::npos ? clause.size() : next_delim;
+  if (pos < clause.size() && clause[pos] == '(') {
+    const auto close = clause.find(')', pos);
+    if (close == std::string::npos) specError(spec, "unbalanced '('");
+    out.value = std::strtoull(clause.substr(pos + 1, close - pos - 1).c_str(),
+                              nullptr, 10);
+    pos = close + 1;
+  } else if (needs_value) {
+    specError(spec, "action '" + action + "' needs a (value)");
+  }
+  while (pos < clause.size()) {
+    if (clause[pos] != ',') specError(spec, "expected ',' before modifiers");
+    ++pos;
+    const auto mod_eq = clause.find('=', pos);
+    if (mod_eq == std::string::npos) specError(spec, "modifier lacks '='");
+    const std::string key = clause.substr(pos, mod_eq - pos);
+    const auto mod_end = clause.find(',', mod_eq);
+    const std::string value = clause.substr(
+        mod_eq + 1,
+        mod_end == std::string::npos ? std::string::npos : mod_end - mod_eq - 1);
+    if (key == "p") {
+      out.probability = std::strtod(value.c_str(), nullptr);
+      if (out.probability < 0.0 || out.probability > 1.0) {
+        specError(spec, "p must be in [0, 1]");
+      }
+    } else if (key == "rank") {
+      out.rank_filter = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (key == "limit") {
+      out.limit = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      specError(spec, "unknown modifier '" + key + "'");
+    }
+    pos = mod_end == std::string::npos ? clause.size() : mod_end;
+  }
+  return out;
+}
+
+}  // namespace
+
+void FailpointRegistry::configure(const std::string& spec,
+                                  std::uint64_t seed) {
+  // Parse everything first so a malformed trailing clause cannot leave the
+  // registry half-armed.
+  std::vector<Clause> clauses;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const auto end = spec.find(';', pos);
+    const std::string clause = spec.substr(
+        pos, end == std::string::npos ? std::string::npos : end - pos);
+    if (!clause.empty()) clauses.push_back(parseClause(spec, clause));
+    pos = end == std::string::npos ? spec.size() : end + 1;
+  }
+  for (const Clause& c : clauses) {
+    failpoint(c.point).arm(c.action, c.value, c.probability, c.rank_filter,
+                           c.limit, seed);
+  }
+}
+
+bool FailpointRegistry::configureFromEnv() {
+  const char* spec = std::getenv("STS_FAULT_SPEC");
+  if (spec == nullptr || spec[0] == '\0') return false;
+  const char* seed_env = std::getenv("STS_FAULT_SEED");
+  const std::uint64_t seed =
+      seed_env != nullptr ? std::strtoull(seed_env, nullptr, 10) : 0;
+  configure(spec, seed);
+  return true;
+}
+
+void FailpointRegistry::reset() {
+  base::MutexLock lock(mu_);
+  for (auto& [name, point] : points_) point->disarm();
+}
+
+std::uint64_t FailpointRegistry::hits(const std::string& name) const {
+  base::MutexLock lock(mu_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second->hits();
+}
+
+std::uint64_t FailpointRegistry::triggers(const std::string& name) const {
+  base::MutexLock lock(mu_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second->triggers();
+}
+
+}  // namespace sts::fault

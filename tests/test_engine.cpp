@@ -259,6 +259,61 @@ TEST(SolverEngine, RejectsBadSubmissions) {
                std::runtime_error);
 }
 
+TEST(SolverEngine, StopFailsFastQueuedRequestsWithTypedShutdown) {
+  const auto lower = datagen::bandedLower(300, 8, 0.5, 23);
+  auto solver = analyzeShared(lower, /*reorder=*/true);
+  const auto b = lower.multiply(exec::referenceSolution(lower.rows(), 24));
+
+  EngineOptions options;
+  options.num_workers = 1;
+  options.start_paused = true;  // workers parked: everything stays queued
+  SolverEngine engine(options);
+  const auto id = engine.registerSolver(solver);
+  std::vector<std::future<std::vector<double>>> futures;
+  for (int r = 0; r < 6; ++r) futures.push_back(engine.submit(id, b));
+
+  engine.stop();  // fail-fast: must not wait for (paused) dispatch
+  for (auto& f : futures) {
+    // Every queued future resolves promptly — nothing blocks forever.
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(5)),
+              std::future_status::ready);
+    try {
+      f.get();
+      FAIL() << "expected EngineError{kShutdown}";
+    } catch (const EngineError& error) {
+      EXPECT_EQ(error.code(), EngineErrorCode::kShutdown);
+    }
+  }
+  EXPECT_THROW(engine.submit(id, b), EngineError);  // closed for business
+}
+
+TEST(SolverEngine, DestructionWithInFlightAndQueuedWorkNeverHangs) {
+  // The shutdown-ordering regression this pins: destroying an engine while
+  // workers hold in-flight batches AND requests are still queued must
+  // drain gracefully — every accepted future resolves with a value. Runs
+  // under TSan in CI (full-suite tsan job), which is where the original
+  // ordering races would surface.
+  const auto lower = datagen::bandedLower(400, 10, 0.5, 25);
+  auto solver = analyzeShared(lower, /*reorder=*/true);
+  const auto x_true = exec::referenceSolution(lower.rows(), 26);
+  const auto b = lower.multiply(x_true);
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::future<std::vector<double>>> futures;
+    {
+      SolverEngine engine({.num_workers = 3, .max_batch = 2});
+      const auto id = engine.registerSolver(solver);
+      for (int r = 0; r < 24; ++r) futures.push_back(engine.submit(id, b));
+      // Destructor runs here with most requests still queued or solving.
+    }
+    for (auto& f : futures) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready);
+      EXPECT_LT(exec::relMaxAbsDiff(f.get(), x_true), 1e-10);
+    }
+  }
+}
+
 TEST(SolverEngine, DrainWaitsForBacklog) {
   const auto lower = datagen::bandedLower(300, 8, 0.5, 21);
   auto solver = analyzeShared(lower, /*reorder=*/true);

@@ -1,0 +1,200 @@
+#include "fault/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include "datagen/random_matrices.hpp"
+#include "engine/solver_engine.hpp"
+#include "exec/solver.hpp"
+#include "exec/verify.hpp"
+
+namespace sts::fault {
+namespace {
+
+/// The library API (registry, parser, deterministic trigger hash) compiles
+/// in EVERY build; only the STS_FAILPOINT call-site macros are conditional
+/// on STS_FAULTS. These tests therefore run under both configurations —
+/// the site-integration cases at the bottom are the only #if-gated part.
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  // Every test starts and ends with a disarmed registry: failpoints are
+  // process-global, and a leaked armed point would bleed into whichever
+  // test the runner schedules next.
+  void SetUp() override { FailpointRegistry::global().reset(); }
+  void TearDown() override { FailpointRegistry::global().reset(); }
+};
+
+TEST_F(FailpointTest, RegistryIsIdempotentAndPointerStable) {
+  auto& registry = FailpointRegistry::global();
+  Failpoint& a = registry.failpoint("test.some_point");
+  Failpoint& b = registry.failpoint("test.some_point");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.name(), "test.some_point");
+  EXPECT_FALSE(a.armed());
+}
+
+TEST_F(FailpointTest, ConfigureArmsAndResetDisarms) {
+  auto& registry = FailpointRegistry::global();
+  registry.configure("test.a=delay(1),p=0.5;test.b=fail,limit=2");
+  EXPECT_TRUE(registry.failpoint("test.a").armed());
+  EXPECT_TRUE(registry.failpoint("test.b").armed());
+  registry.reset();
+  EXPECT_FALSE(registry.failpoint("test.a").armed());
+  EXPECT_FALSE(registry.failpoint("test.b").armed());
+  EXPECT_EQ(registry.hits("test.a"), 0u);
+}
+
+TEST_F(FailpointTest, MalformedSpecsThrowAndArmNothing) {
+  auto& registry = FailpointRegistry::global();
+  EXPECT_THROW(registry.configure("noequals"), std::invalid_argument);
+  EXPECT_THROW(registry.configure("p=delay(1)x"), std::invalid_argument);
+  EXPECT_THROW(registry.configure("x=unknown_action"), std::invalid_argument);
+  EXPECT_THROW(registry.configure("x=delay(1),p=2.5"), std::invalid_argument);
+  EXPECT_THROW(registry.configure("x=delay(1),frequency=3"),
+               std::invalid_argument);
+  EXPECT_THROW(registry.configure("x=delay"), std::invalid_argument);
+  // All-clauses-first parsing: one bad clause must not half-arm the good
+  // one before it.
+  EXPECT_THROW(registry.configure("test.good=delay(1);test.bad="),
+               std::invalid_argument);
+  EXPECT_FALSE(registry.failpoint("test.good").armed());
+}
+
+TEST_F(FailpointTest, TriggerDecisionIsDeterministic) {
+  // Same (seed, name, rank, arrival) -> same decision, every time: the
+  // property that makes a fault run replayable.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const bool first = wouldTrigger(42, "test.det", 3, i, 0.3);
+    EXPECT_EQ(first, wouldTrigger(42, "test.det", 3, i, 0.3));
+  }
+  // And the decision stream actually depends on each coordinate.
+  int diff_seed = 0;
+  int diff_rank = 0;
+  int diff_name = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    diff_seed += wouldTrigger(1, "test.det", 0, i, 0.5) !=
+                 wouldTrigger(2, "test.det", 0, i, 0.5);
+    diff_rank += wouldTrigger(1, "test.det", 0, i, 0.5) !=
+                 wouldTrigger(1, "test.det", 1, i, 0.5);
+    diff_name += wouldTrigger(1, "test.det", 0, i, 0.5) !=
+                 wouldTrigger(1, "test.other", 0, i, 0.5);
+  }
+  EXPECT_GT(diff_seed, 0);
+  EXPECT_GT(diff_rank, 0);
+  EXPECT_GT(diff_name, 0);
+}
+
+TEST_F(FailpointTest, ProbabilityEdgesAreExact) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(wouldTrigger(7, "test.p", 0, i, 1.0));
+    EXPECT_FALSE(wouldTrigger(7, "test.p", 0, i, 0.0));
+  }
+}
+
+TEST_F(FailpointTest, FireCountsHitsAndHonorsRankFilter) {
+  auto& registry = FailpointRegistry::global();
+  registry.configure("test.rank=delay(0),rank=1");
+  Failpoint& point = registry.failpoint("test.rank");
+  for (int i = 0; i < 5; ++i) point.fire(/*rank=*/0);  // filtered out
+  EXPECT_EQ(point.hits(), 5u);
+  EXPECT_EQ(point.triggers(), 0u);
+  for (int i = 0; i < 3; ++i) point.fire(/*rank=*/1);
+  EXPECT_EQ(point.hits(), 8u);
+  EXPECT_EQ(point.triggers(), 3u);
+}
+
+TEST_F(FailpointTest, LimitSelfDisarms) {
+  auto& registry = FailpointRegistry::global();
+  registry.configure("test.limit=delay(0),limit=2");
+  Failpoint& point = registry.failpoint("test.limit");
+  for (int i = 0; i < 10 && point.armed(); ++i) point.fire(0);
+  EXPECT_EQ(point.triggers(), 2u);
+  EXPECT_FALSE(point.armed());
+}
+
+TEST_F(FailpointTest, FailActionThrowsInjectedFault) {
+  auto& registry = FailpointRegistry::global();
+  registry.configure("test.fail=fail");
+  EXPECT_THROW(registry.failpoint("test.fail").fire(0), InjectedFault);
+  registry.configure("test.alloc=badalloc");
+  EXPECT_THROW(registry.failpoint("test.alloc").fire(0), std::bad_alloc);
+  // The injected message names the point — the debuggability contract.
+  try {
+    registry.failpoint("test.fail").fire(0);
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& fault) {
+    EXPECT_NE(std::string(fault.what()).find("test.fail"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, RearmResetsTheDeterministicSchedule) {
+  auto& registry = FailpointRegistry::global();
+  registry.configure("test.replay=delay(0),p=0.4", /*seed=*/9);
+  Failpoint& point = registry.failpoint("test.replay");
+  for (int i = 0; i < 100; ++i) point.fire(0);
+  const std::uint64_t first_run = point.triggers();
+  registry.configure("test.replay=delay(0),p=0.4", /*seed=*/9);
+  for (int i = 0; i < 100; ++i) point.fire(0);
+  EXPECT_EQ(point.triggers(), first_run);  // identical replay
+}
+
+#if STS_FAULTS
+// Site integration: with the macros compiled in, an armed failpoint in the
+// engine's batch path must surface through the normal error machinery —
+// promises resolve with the injected exception, stats count a failed
+// batch, and the engine keeps serving afterwards.
+TEST_F(FailpointTest, InjectedBatchFailureResolvesPromises) {
+  const auto lower = datagen::bandedLower(200, 6, 0.5, 21);
+  exec::SolverOptions solver_opts;
+  solver_opts.num_threads = 2;
+  auto solver = std::make_shared<const exec::TriangularSolver>(
+      exec::TriangularSolver::analyze(lower, solver_opts));
+  const auto x_true = exec::referenceSolution(lower.rows(), 5);
+  const auto b = lower.multiply(x_true);
+
+  engine::SolverEngine engine({.num_workers = 1});
+  const auto id = engine.registerSolver(solver);
+
+  FailpointRegistry::global().configure("engine.batch_execute=fail,limit=1");
+  auto failed = engine.submit(id, b);
+  EXPECT_THROW(failed.get(), InjectedFault);
+  EXPECT_GE(FailpointRegistry::global().triggers("engine.batch_execute"), 1u);
+
+  // limit=1 disarmed the point: the engine serves normally again.
+  auto ok = engine.submit(id, b);
+  std::vector<double> expected(b.size(), 0.0);
+  solver->solve(b, expected);
+  EXPECT_EQ(ok.get(), expected);
+  EXPECT_GE(engine.stats(id).batches_failed, 1u);
+}
+
+// A rank-filtered superstep delay perturbs timing but never results: the
+// executor hooks are delay-only by contract, and the solve stays exact.
+TEST_F(FailpointTest, SuperstepDelayKeepsResultsBitwise) {
+  const auto lower = datagen::bandedLower(300, 8, 0.5, 23);
+  exec::SolverOptions solver_opts;
+  solver_opts.num_threads = 2;
+  const auto solver =
+      exec::TriangularSolver::analyze(lower, solver_opts);
+  const auto x_true = exec::referenceSolution(lower.rows(), 6);
+  const auto b = lower.multiply(x_true);
+
+  std::vector<double> clean(b.size(), 0.0);
+  solver.solve(b, clean);
+
+  FailpointRegistry::global().configure(
+      "exec.superstep=delay(50),p=0.25,rank=1");
+  std::vector<double> faulted(b.size(), 0.0);
+  solver.solve(b, faulted);
+  EXPECT_GT(FailpointRegistry::global().hits("exec.superstep"), 0u);
+  EXPECT_EQ(faulted, clean);
+}
+#endif  // STS_FAULTS
+
+}  // namespace
+}  // namespace sts::fault

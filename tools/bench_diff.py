@@ -117,6 +117,9 @@ def flatten_snapshot(snapshot):
     out.update(flatten_rows(ssp.get("results", []), "ssp_staleness/",
                             [("", "matrix"), ("", "executor"),
                              ("team", "team"), ("s", "staleness")]))
+    overload = benches.get("overload_resilience") or {}
+    out.update(flatten_rows(overload.get("results", []),
+                            "overload_resilience/", [("", "matrix")]))
     micro = benches.get("micro_kernels")
     if micro:
         out.update(flatten_google_benchmark(micro, "micro_kernels/"))

@@ -2,8 +2,8 @@
 """Consolidated performance snapshot of the perf-critical benches.
 
 Runs bench_micro_kernels (google-benchmark JSON), bench_fold_policies,
-bench_slab_locality and bench_tiled_multirhs (their `JSON: ` payload
-lines) and writes one
+bench_slab_locality, bench_tiled_multirhs, bench_ssp_staleness and
+bench_overload_resilience (their `JSON: ` payload lines) and writes one
 consolidated snapshot file — by convention `BENCH_<PR>.json` at the repo
 root — so the perf trajectory of the hot paths is versioned alongside the
 code that produced it. Schema in docs/BENCHMARKS.md.
@@ -31,7 +31,8 @@ import subprocess
 import sys
 
 REQUIRED_BENCHES = ["bench_fold_policies", "bench_slab_locality",
-                    "bench_tiled_multirhs", "bench_ssp_staleness"]
+                    "bench_tiled_multirhs", "bench_ssp_staleness",
+                    "bench_overload_resilience"]
 OPTIONAL_BENCHES = ["bench_micro_kernels"]
 
 
@@ -86,6 +87,8 @@ def main():
         env.setdefault("STS_SLAB_REPS", str(args.reps))
         env.setdefault("STS_TILED_REPS", str(args.reps))
         env.setdefault("STS_SSP_REPS", str(args.reps))
+        # Quick-snapshot mode also trims the open-loop overload phase.
+        env.setdefault("STS_OVERLOAD_REQUESTS", "48")
 
     snapshot = {
         "snapshot": os.path.splitext(os.path.basename(args.out))[0],

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific convention lints that clang-tidy cannot express.
 
-Four rules, each encoding a contract documented in docs/ (violations have
+Five rules, each encoding a contract documented in docs/ (violations have
 bitten or would bite silently — none of them is a style preference):
 
   omp-region-discipline
@@ -32,6 +32,15 @@ bitten or would bite silently — none of them is a style preference):
       mutex is invisible to the analysis, so a data race behind it would
       pass the `-Werror=thread-safety` CI gate. base/sync.hpp itself is
       exempt (it is the wrapper).
+
+  failpoint-discipline
+      Library code (src/, outside src/fault/) must reach fault injection
+      ONLY through the STS_FAILPOINT / STS_FAILPOINT_RANK macros or inside
+      an explicit `#if STS_FAULTS` region. A direct `fault::` API call
+      (FailpointRegistry, Failpoint, InjectedFault, wouldTrigger) at an
+      unguarded site compiles into the -DSTS_FAULTS=OFF build too, which
+      breaks the docs/ROBUSTNESS.md contract that OFF builds carry zero
+      fault-injection code on the solve paths.
 
 Run from anywhere inside the repo:  python3 tools/check_conventions.py
 Self-test the rules themselves:    python3 tools/check_conventions.py --self-check
@@ -65,11 +74,17 @@ SIDE_EFFECT = re.compile(r"""
     | (?:<<|>>)=
 """, re.VERBOSE)
 
-LOCK_DISCIPLINE_MODULES = ("base/", "engine/", "obs/")
+LOCK_DISCIPLINE_MODULES = ("base/", "engine/", "obs/", "fault/")
 LOCK_DISCIPLINE_FILES = ("exec/elastic.hpp",)
 LOCK_DISCIPLINE_EXEMPT = ("base/sync.hpp", "base/thread_annotations.hpp")
 RAW_LOCK = re.compile(
     r"std::(mutex|lock_guard|unique_lock|scoped_lock|shared_mutex)\b")
+
+# Direct fault-injection API tokens; the call-site macros are the only
+# sanctioned spelling outside src/fault/ and `#if STS_FAULTS` regions.
+FAULT_API = re.compile(
+    r"\bfault::|\bFailpointRegistry\b|\bFailpoint\b|\bInjectedFault\b|"
+    r"\bwouldTrigger\b")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -211,6 +226,41 @@ def check_lock_discipline(path: Path, lines: list[str]) -> list[str]:
     return errors
 
 
+def check_failpoint_discipline(path: Path, lines: list[str]) -> list[str]:
+    rel = path.relative_to(REPO)
+    rel_src = path.relative_to(SRC).as_posix() if path.is_relative_to(SRC) else ""
+    if not rel_src or rel_src.startswith("fault/"):
+        return []
+    errors = []
+    # Preprocessor-conditional stack: True for frames opened by the
+    # `#if STS_FAULTS` gate (direct API use is sanctioned there).
+    gate_stack: list[bool] = []
+    for idx, line in enumerate(lines):
+        directive = line.strip()
+        if directive.startswith("#if"):
+            gate_stack.append("STS_FAULTS" in directive)
+            continue
+        if directive.startswith("#endif"):
+            if gate_stack:
+                gate_stack.pop()
+            continue
+        if directive.startswith(("#else", "#elif")):
+            if gate_stack:
+                gate_stack[-1] = "STS_FAULTS" in directive
+            continue
+        if any(gate_stack):
+            continue
+        if re.match(r"\s*#\s*include", line):
+            continue  # including the macro header is the sanctioned entry
+        hit = FAULT_API.search(strip_comments_and_strings(line))
+        if hit:
+            errors.append(
+                f"{rel}:{idx + 1}: failpoint-discipline: direct "
+                f"'{hit.group(0)}' outside src/fault/; use STS_FAILPOINT / "
+                f"STS_FAILPOINT_RANK or guard with #if STS_FAULTS")
+    return errors
+
+
 def run(paths: list[Path]) -> list[str]:
     errors = []
     for path in paths:
@@ -220,6 +270,7 @@ def run(paths: list[Path]) -> list[str]:
         errors += check_trace_args(path, lines)
         errors += check_includes(path, lines)
         errors += check_lock_discipline(path, lines)
+        errors += check_failpoint_discipline(path, lines)
     return errors
 
 
@@ -277,6 +328,21 @@ base::MutexLock lock(mu_);
 """, None),
     ("raw mutex outside annotated modules passes", "src/harness/fix.cpp", """
 std::mutex mu;
+""", None),
+    ("direct fault API outside src/fault/", "src/engine/fix.cpp", """
+sts::fault::FailpointRegistry::global().configure("x=fail");
+""", "failpoint-discipline"),
+    ("fault API under #if STS_FAULTS passes", "src/engine/fix.cpp", """
+#if STS_FAULTS
+sts::fault::FailpointRegistry::global().reset();
+#endif
+""", None),
+    ("failpoint macros pass anywhere", "src/exec/fix2.cpp", """
+STS_FAILPOINT("exec.slab_build");
+STS_FAILPOINT_RANK("exec.superstep", t);
+""", None),
+    ("fault API inside src/fault/ passes", "src/fault/fix.cpp", """
+Failpoint& point = FailpointRegistry::global().failpoint(name);
 """, None),
 ]
 
